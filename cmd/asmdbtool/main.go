@@ -1,0 +1,127 @@
+// Command asmdbtool runs the AsmDB software-prefetching pipeline for one
+// workload — profile, CFG construction, target ranking, insertion-site
+// selection — and reports the plan: coverage, static/dynamic bloat and,
+// with -sites, the individual insertions.
+//
+// Usage:
+//
+//	asmdbtool -workload secret_srv12
+//	asmdbtool -workload secret_srv12 -fanout 0.2 -sites -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"frontsim/internal/asmdb"
+	"frontsim/internal/cfg"
+	"frontsim/internal/core"
+	"frontsim/internal/program"
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "secret_srv12", "suite workload name")
+		profileN = flag.Int64("profile-instrs", 2_000_000, "profiling stream length")
+		fanout   = flag.Float64("fanout", asmdb.DefaultOptions().FanoutThreshold, "fanout probability threshold")
+		window   = flag.Int("window", asmdb.DefaultOptions().Window, "max insertion distance (instructions)")
+		sites    = flag.Bool("sites", false, "print individual insertions")
+		top      = flag.Int("top", 20, "insertions to print with -sites")
+		rerun    = flag.Bool("rerun", false, "run the rewritten binary on the 24-entry FDP and report IPC")
+		planOut  = flag.String("plan", "", "write the insertion plan as JSON to this path")
+	)
+	flag.Parse()
+	if err := run(*name, *profileN, *fanout, *window, *sites, *top, *rerun, *planOut); err != nil {
+		fmt.Fprintln(os.Stderr, "asmdbtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, profileN int64, fanout float64, window int, sites bool, top int, rerun bool, planOut string) error {
+	spec, ok := workload.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	prog, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	seed := spec.Seed ^ 0x5eed5eed5eed5eed
+
+	// Baseline IPC for the minimum-distance heuristic (paper: IPC x LLC
+	// latency).
+	baseCfg := core.ConservativeConfig()
+	baseCfg.WarmupInstrs, baseCfg.MaxInstrs = 200_000, 600_000
+	base, err := core.RunSource(baseCfg, program.NewExecutor(prog, seed))
+	if err != nil {
+		return err
+	}
+
+	graph, err := cfg.Profile(trace.NewLimit(program.NewExecutor(prog, seed), profileN), cfg.Options{IPC: base.IPC()})
+	if err != nil {
+		return err
+	}
+	opts := asmdb.DefaultOptions()
+	opts.FanoutThreshold = fanout
+	opts.Window = window
+	plan, err := asmdb.Build(graph, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload         %s\n", spec.Name)
+	fmt.Printf("profiled         %d instructions, %d basic blocks, %.1f MPKI\n",
+		graph.Instructions, len(graph.Nodes), graph.MPKI())
+	fmt.Printf("baseline IPC     %.3f (conservative front-end)\n", base.IPC())
+	fmt.Printf("min distance     %d instructions (IPC x LLC latency)\n", plan.MinDistance)
+	fmt.Printf("targets covered  %d (%.1f%% of profiled misses)\n", plan.TargetsCovered, 100*plan.Coverage())
+	fmt.Printf("insertions       %d (static bloat %.2f%%)\n", len(plan.Insertions), 100*plan.StaticBloat(prog))
+
+	if planOut != "" {
+		f, err := os.Create(planOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := plan.Encode(f); err != nil {
+			return err
+		}
+		fmt.Printf("plan written    %s\n", planOut)
+	}
+
+	if sites {
+		n := top
+		if n > len(plan.Insertions) {
+			n = len(plan.Insertions)
+		}
+		fmt.Printf("\n%-12s %-12s %9s %7s %9s\n", "site", "target", "dist", "prob", "misses")
+		for _, ins := range plan.Insertions[:n] {
+			fmt.Printf("%-12v %-12v %9d %7.2f %9d\n", ins.Site, ins.Target, ins.Distance, ins.Prob, ins.TargetMisses)
+		}
+	}
+
+	if rerun {
+		rewritten, applied, err := asmdb.Apply(prog, plan)
+		if err != nil {
+			return err
+		}
+		runCfg := core.DefaultConfig()
+		runCfg.WarmupInstrs, runCfg.MaxInstrs = 500_000, 1_500_000
+		fdp, err := core.RunSource(runCfg, program.NewExecutor(prog, seed))
+		if err != nil {
+			return err
+		}
+		withPf, err := core.RunSource(runCfg, program.NewExecutor(rewritten, seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\napplied          %d insertions\n", applied)
+		fmt.Printf("FDP-24 IPC       %.3f (MPKI %.1f)\n", fdp.IPC(), fdp.L1IMPKI())
+		fmt.Printf("AsmDB+FDP-24 IPC %.3f (MPKI %.1f, dynamic bloat %.1f%%)\n",
+			withPf.IPC(), withPf.L1IMPKI(), 100*withPf.DynamicBloat())
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frontsim/internal/asmdb"
+)
+
+func TestRunPlanOnly(t *testing.T) {
+	if err := run("secret_crypto52", 300_000, 0.3, 320, true, 5, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithRerun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rerun path is slow")
+	}
+	if err := run("secret_crypto52", 300_000, 0.3, 320, false, 0, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesPlanJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	if err := run("secret_crypto52", 300_000, 0.3, 320, false, 0, false, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := asmdb.ReadPlan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Insertions) == 0 {
+		t.Fatal("empty serialized plan")
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if err := run("bogus", 1000, 0.3, 320, false, 0, false, ""); err == nil {
+		t.Fatal("accepted unknown workload")
+	}
+}

@@ -1,0 +1,218 @@
+// Command experiments reproduces every table and figure in the paper's
+// evaluation over the 48-workload suite, plus the ablations from DESIGN.md.
+//
+// Usage:
+//
+//	experiments                         # all figures, default scale
+//	experiments -figure 1               # just Figure 1
+//	experiments -table 1                # just Table I
+//	experiments -ablation ftq           # the FTQ-depth sweep
+//	experiments -instrs 4000000 -n 12   # larger runs, first 12 workloads
+//	experiments -csv out/               # additionally write CSV per figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"frontsim/internal/experiment"
+	"frontsim/internal/stats"
+	"frontsim/internal/workload"
+)
+
+func main() {
+	var (
+		figure   = flag.Int("figure", 0, "only this figure (1,7,8,9,10,11); 0 = all")
+		table    = flag.Int("table", 0, "only this table (1); 0 = all")
+		ablation = flag.String("ablation", "", "run an ablation: ftq, fanout, frontend, predictor, replacement, wrongpath, btb")
+		ext      = flag.String("extension", "", "run an extension experiment: preload, feedback, ispy")
+		n        = flag.Int("n", workload.Count, "number of suite workloads (prefix)")
+		instrs   = flag.Int64("instrs", 1_500_000, "measured instructions per run")
+		warmup   = flag.Int64("warmup", 500_000, "warmup instructions per run")
+		profile  = flag.Int64("profile", 2_000_000, "AsmDB profiling instructions")
+		par      = flag.Int("par", 0, "parallel workloads (0 = GOMAXPROCS)")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
+		quiet    = flag.Bool("quiet", false, "suppress per-workload progress")
+	)
+	flag.Parse()
+
+	p := experiment.DefaultParams()
+	p.MeasureInstrs = *instrs
+	p.WarmupInstrs = *warmup
+	p.ProfileInstrs = *profile
+	p.Parallelism = *par
+
+	if err := run(*figure, *table, *ablation, *ext, *n, p, *csvDir, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figure, table int, ablation, ext string, n int, p experiment.Params, csvDir string, quiet bool) error {
+	specs := workload.All()
+	if n < len(specs) {
+		specs = specs[:n]
+	}
+
+	emit := func(t *stats.Table, slug string) error {
+		fmt.Println(t)
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(csvDir, slug+".csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return t.RenderCSV(f)
+		}
+		return nil
+	}
+
+	// Ablations and extensions use a representative sub-suite to keep
+	// runtimes sane.
+	sub := specs
+	if len(sub) > 6 {
+		sub = []workload.Spec{specs[0], specs[1], specs[4], specs[8], specs[16], specs[20]}
+	}
+
+	if ext != "" {
+		switch strings.ToLower(ext) {
+		case "preload":
+			t, err := experiment.ExtensionPreload(sub, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "extension_preload")
+		case "feedback":
+			t, err := experiment.ExtensionFeedback(sub, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "extension_feedback")
+		case "ispy":
+			t, err := experiment.ExtensionISpy(sub, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "extension_ispy")
+		default:
+			return fmt.Errorf("unknown extension %q", ext)
+		}
+	}
+
+	if ablation != "" {
+		switch strings.ToLower(ablation) {
+		case "ftq":
+			t, err := experiment.AblationFTQDepth(sub, []int{2, 4, 8, 16, 24, 32}, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "ablation_ftq")
+		case "fanout":
+			t, err := experiment.AblationFanout(sub, []float64{0.1, 0.3, 0.5, 0.7}, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "ablation_fanout")
+		case "frontend":
+			t, err := experiment.AblationFrontend(sub, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "ablation_frontend")
+		case "predictor":
+			t, err := experiment.AblationPredictor(sub, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "ablation_predictor")
+		case "replacement":
+			t, err := experiment.AblationReplacement(sub, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "ablation_replacement")
+		case "wrongpath":
+			t, err := experiment.AblationWrongPath(sub, []int{0, 2, 4, 8}, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "ablation_wrongpath")
+		case "btb":
+			t, err := experiment.AblationBTB(sub, []int{0, 512, 1024, 4096}, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "ablation_btb")
+		default:
+			return fmt.Errorf("unknown ablation %q", ablation)
+		}
+	}
+
+	if table == 1 || (figure == 0 && table == 0) {
+		if err := emit(experiment.TableI(), "table1"); err != nil {
+			return err
+		}
+		if figure == 0 && table == 1 {
+			return nil
+		}
+	}
+	if table != 0 && table != 1 {
+		return fmt.Errorf("unknown table %d", table)
+	}
+	if table == 1 && figure == 0 {
+		return nil
+	}
+
+	progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
+	if quiet {
+		progress = nil
+	}
+	start := time.Now()
+	ms, err := experiment.RunSuite(specs, p, progress)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "suite of %d workloads completed in %s\n\n", len(ms), time.Since(start).Round(time.Second))
+
+	type fig struct {
+		id   int
+		make func([]*experiment.Matrix) *stats.Table
+		slug string
+	}
+	figs := []fig{
+		{1, experiment.Figure1, "figure1"},
+		{7, experiment.Figure7, "figure7"},
+		{8, experiment.Figure8, "figure8"},
+		{9, experiment.Figure9, "figure9"},
+		{10, experiment.Figure10, "figure10"},
+		{11, experiment.Figure11, "figure11"},
+	}
+	ran := false
+	for _, f := range figs {
+		if figure != 0 && figure != f.id {
+			continue
+		}
+		ran = true
+		if err := emit(f.make(ms), f.slug); err != nil {
+			return err
+		}
+	}
+	if figure == 0 {
+		if err := emit(experiment.Methodology(ms), "methodology"); err != nil {
+			return err
+		}
+		if err := emit(experiment.HeadStallBreakdown(ms), "headstall_breakdown"); err != nil {
+			return err
+		}
+	} else if !ran {
+		return fmt.Errorf("unknown figure %d", figure)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frontsim/internal/experiment"
+)
+
+func tinyParams() experiment.Params {
+	p := experiment.DefaultParams()
+	p.WarmupInstrs = 50_000
+	p.MeasureInstrs = 150_000
+	p.ProfileInstrs = 200_000
+	return p
+}
+
+func TestRunTable1(t *testing.T) {
+	if err := run(0, 1, "", "", 1, tinyParams(), "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure1WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(1, 0, "", "", 1, tinyParams(), dir, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure1.csv")); err != nil {
+		t.Fatal("figure1.csv not written")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run(99, 0, "", "", 1, tinyParams(), "", true); err == nil {
+		t.Fatal("accepted unknown figure")
+	}
+}
+
+func TestRunUnknownTable(t *testing.T) {
+	if err := run(0, 9, "", "", 1, tinyParams(), "", true); err == nil {
+		t.Fatal("accepted unknown table")
+	}
+}
+
+func TestRunUnknownAblation(t *testing.T) {
+	if err := run(0, 0, "nope", "", 1, tinyParams(), "", true); err == nil {
+		t.Fatal("accepted unknown ablation")
+	}
+}
+
+func TestRunUnknownExtension(t *testing.T) {
+	if err := run(0, 0, "", "nope", 1, tinyParams(), "", true); err == nil {
+		t.Fatal("accepted unknown extension")
+	}
+}
+
+func TestRunAblationFTQ(t *testing.T) {
+	if err := run(0, 0, "ftq", "", 1, tinyParams(), "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtensionISpy(t *testing.T) {
+	if err := run(0, 0, "", "ispy", 1, tinyParams(), "", true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Command fesim runs a single front-end simulation of one workload under a
+// chosen configuration and prints the full statistics snapshot.
+//
+// Usage:
+//
+//	fesim -workload secret_srv12 -ftq 24 -instrs 1500000 -warmup 500000
+//	fesim -workload secret_int_44 -ftq 2 -no-pfc
+//	fesim -trace trace.fsim.gz -ftq 24
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"frontsim/internal/core"
+	"frontsim/internal/hwpf"
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "secret_srv12", "suite workload name (see -list)")
+		tracePath    = flag.String("trace", "", "run a serialized trace file instead of a suite workload")
+		list         = flag.Bool("list", false, "list suite workloads and exit")
+		ftq          = flag.Int("ftq", 24, "FTQ depth (2 = paper's conservative front-end)")
+		instrs       = flag.Int64("instrs", 1_500_000, "measured program instructions")
+		warmup       = flag.Int64("warmup", 500_000, "warmup instructions excluded from statistics")
+		noPFC        = flag.Bool("no-pfc", false, "disable post-fetch correction")
+		noGHRFilter  = flag.Bool("no-ghr-filter", false, "disable GHR not-taken/BTB-miss filtering")
+		hw           = flag.String("hwpf", "none", "hardware L1-I prefetcher: none, nextline, eip")
+		asJSON       = flag.Bool("json", false, "emit the statistics snapshot as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for i, n := range workload.Names() {
+			s, _ := workload.Lookup(n)
+			fmt.Printf("%2d  %-18s %s\n", i+1, n, s.Category)
+		}
+		return
+	}
+	if err := run(*workloadName, *tracePath, *ftq, *instrs, *warmup, *noPFC, *noGHRFilter, *hw, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "fesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, tracePath string, ftq int, instrs, warmup int64, noPFC, noGHRFilter bool, hw string, asJSON bool) error {
+	cfg := core.DefaultConfig()
+	cfg.Name = fmt.Sprintf("ftq%d", ftq)
+	cfg.Frontend.FTQEntries = ftq
+	cfg.Frontend.EnablePFC = !noPFC
+	cfg.Frontend.BPU.FilterGHR = !noGHRFilter
+	cfg.WarmupInstrs = warmup
+	cfg.MaxInstrs = instrs
+
+	switch hw {
+	case "none":
+	case "nextline":
+		cfg.Frontend.Prefetcher = hwpf.NewNextLine(2)
+	case "eip":
+		eip, err := hwpf.NewEIP(hwpf.DefaultEIPConfig())
+		if err != nil {
+			return err
+		}
+		cfg.Frontend.Prefetcher = eip
+	default:
+		return fmt.Errorf("unknown -hwpf %q", hw)
+	}
+
+	var src trace.Source
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		src = r
+	} else {
+		spec, ok := workload.Lookup(name)
+		if !ok {
+			return fmt.Errorf("unknown workload %q (try -list)", name)
+		}
+		s, err := spec.NewSource()
+		if err != nil {
+			return err
+		}
+		src = s
+	}
+
+	st, err := core.RunSource(cfg, src)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonStats(st))
+	}
+	fmt.Print(st.Summary())
+	return nil
+}
+
+// jsonStats augments the raw counters with the derived headline metrics so
+// downstream scripts need no recomputation.
+func jsonStats(st core.Stats) map[string]interface{} {
+	return map[string]interface{}{
+		"config":                   st.Config,
+		"ipc":                      st.IPC(),
+		"l1i_mpki":                 st.L1IMPKI(),
+		"dynamic_bloat":            st.DynamicBloat(),
+		"avg_head_fetch_cycles":    st.FTQ.AvgHeadFetch(),
+		"avg_nonhead_fetch_cycles": st.FTQ.AvgNonHeadFetch(),
+		"counters":                 st,
+	}
+}

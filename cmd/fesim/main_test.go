@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+)
+
+func TestRunSuiteWorkload(t *testing.T) {
+	for _, hw := range []string{"none", "nextline", "eip"} {
+		if err := run("secret_crypto52", "", 24, 120_000, 30_000, false, false, hw, false); err != nil {
+			t.Fatalf("hw=%s: %v", hw, err)
+		}
+	}
+}
+
+func TestRunConservativeNoPFC(t *testing.T) {
+	if err := run("secret_crypto52", "", 2, 100_000, 20_000, true, true, "none", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	if err := run("secret_crypto52", "", 24, 80_000, 20_000, false, false, "none", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if err := run("nope", "", 24, 1000, 0, false, false, "none", false); err == nil {
+		t.Fatal("accepted unknown workload")
+	}
+}
+
+func TestRunRejectsUnknownHWPF(t *testing.T) {
+	if err := run("secret_crypto52", "", 24, 1000, 0, false, false, "warp", false); err == nil {
+		t.Fatal("accepted unknown prefetcher")
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.fsim.gz")
+	spec, _ := workload.Lookup("secret_crypto52")
+	src, err := spec.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Copy(w, trace.NewLimit(src, 150_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := run("", path, 24, 100_000, 20_000, false, false, "none", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingTraceFile(t *testing.T) {
+	if err := run("", "/nonexistent/trace.gz", 24, 1000, 0, false, false, "none", false); err == nil {
+		t.Fatal("accepted missing trace file")
+	}
+}

@@ -1,0 +1,152 @@
+// Command ftqtrace renders a per-cycle timeline of the FTQ's state for a
+// window of a workload's execution — a direct visualization of the paper's
+// Scenario 1/2/3 taxonomy.
+//
+// Each output line is one cycle:
+//
+//	cycle 1234  [R..RRF........................]  head-stall  ipc-so-far=0.41
+//
+// where each cell is one FTQ slot from the head: 'R' fetched and ready,
+// '.' still fetching, '_' empty. The state column names the paper's
+// scenario for that cycle.
+//
+// Usage:
+//
+//	ftqtrace -workload secret_srv12 -ftq 24 -skip 100000 -cycles 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"frontsim/internal/backend"
+	"frontsim/internal/cache"
+	"frontsim/internal/core"
+	"frontsim/internal/frontend"
+	"frontsim/internal/isa"
+	"frontsim/internal/workload"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "secret_srv12", "suite workload name")
+		ftqN   = flag.Int("ftq", 24, "FTQ depth")
+		skip   = flag.Int64("skip", 100_000, "instructions to execute before tracing")
+		cycles = flag.Int64("cycles", 100, "cycles to trace")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *name, *ftqN, *skip, *cycles); err != nil {
+		fmt.Fprintln(os.Stderr, "ftqtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, name string, ftqN int, skip, cycles int64) error {
+	spec, ok := workload.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	src, err := spec.NewSource()
+	if err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Frontend.FTQEntries = ftqN
+
+	mem, err := cache.NewHierarchy(cfg.Memory)
+	if err != nil {
+		return err
+	}
+	fe, err := frontend.New(cfg.Frontend, src, mem, nil)
+	if err != nil {
+		return err
+	}
+	be, err := backend.New(cfg.Backend, mem, fe)
+	if err != nil {
+		return err
+	}
+
+	// The same cycle loop core.Sim runs, with a tracing hook.
+	var (
+		now cache.Cycle
+		buf []isa.Instr
+	)
+	step := func(tracing bool) {
+		fe.Cycle(now)
+		budget := be.DispatchBudget()
+		if budget > cfg.DecodeWidth {
+			budget = cfg.DecodeWidth
+		}
+		if budget > 0 {
+			buf = fe.Dequeue(now, budget, buf[:0])
+			if len(buf) > 0 {
+				be.Dispatch(buf, now)
+			}
+		}
+		be.Retire(now)
+		if tracing {
+			fmt.Fprintln(w, render(fe, be, now))
+		}
+		now++
+	}
+
+	for be.Stats().RetiredProgram < skip && !(fe.Done() && be.Drained()) {
+		step(false)
+	}
+	fmt.Fprintf(w, "workload %s, FTQ=%d, tracing %d cycles from cycle %d (after %d retired instructions)\n",
+		spec.Name, ftqN, cycles, now, be.Stats().RetiredProgram)
+	fmt.Fprintf(w, "cells from head: R=ready .=fetching _=empty\n\n")
+	for i := int64(0); i < cycles && !(fe.Done() && be.Drained()); i++ {
+		step(true)
+	}
+	return nil
+}
+
+// render draws one cycle's FTQ occupancy and scenario classification.
+func render(fe *frontend.Frontend, be *backend.Backend, now cache.Cycle) string {
+	q := fe.FTQ()
+	var cells strings.Builder
+	for i := 0; i < q.Cap(); i++ {
+		e := q.EntryAt(i)
+		switch {
+		case e == nil:
+			cells.WriteByte('_')
+		case e.Ready() <= now:
+			cells.WriteByte('R')
+		default:
+			cells.WriteByte('.')
+		}
+	}
+	state := "empty     "
+	if head := q.Head(); head != nil {
+		if head.Ready() <= now {
+			state = "scenario-1" // shoot-through
+		} else {
+			// Distinguish plain head stall from shadow stall: any ready
+			// follower behind an incomplete head is the classic Scenario
+			// 2; an incomplete follower queue is heading toward Scenario 3.
+			readyBehind := false
+			for i := 1; i < q.Len(); i++ {
+				if q.EntryAt(i).Ready() <= now {
+					readyBehind = true
+					break
+				}
+			}
+			if readyBehind {
+				state = "scenario-2"
+			} else {
+				state = "scenario-3"
+			}
+		}
+	}
+	st := be.Stats()
+	ipc := 0.0
+	if now > 0 {
+		ipc = float64(st.RetiredProgram) / float64(now)
+	}
+	return fmt.Sprintf("cycle %8d  [%s]  %s  retired=%d ipc=%.3f",
+		now, cells.String(), state, st.RetiredProgram, ipc)
+}

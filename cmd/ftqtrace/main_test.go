@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunProducesTimeline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(f, "secret_crypto52", 8, 5_000, 12); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "scenario-") && !strings.Contains(out, "empty") {
+		t.Fatalf("no scenario classification in output:\n%s", out)
+	}
+	// 12 traced lines plus the header's "tracing %d cycles from cycle"
+	// mention.
+	lines := strings.Count(out, "cycle ")
+	if lines < 12 || lines > 13 {
+		t.Fatalf("traced %d cycle mentions, want 12 lines + header", lines)
+	}
+	// Cell width equals the FTQ depth.
+	idx := strings.Index(out, "[")
+	end := strings.Index(out[idx:], "]")
+	if end-1 != 8 {
+		t.Fatalf("cell width %d, want 8", end-1)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if err := run(os.Stdout, "bogus", 8, 0, 1); err == nil {
+		t.Fatal("accepted unknown workload")
+	}
+}

@@ -1,0 +1,100 @@
+// Command tracegen generates a suite workload's dynamic instruction stream
+// and serializes it as a compressed trace file (or prints a composition
+// report with -report).
+//
+// Usage:
+//
+//	tracegen -workload secret_srv12 -instrs 5000000 -o secret_srv12.fsim.gz
+//	tracegen -workload secret_int_44 -report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"frontsim/internal/isa"
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "secret_srv12", "suite workload name")
+		instrs = flag.Int64("instrs", 5_000_000, "instructions to emit")
+		out    = flag.String("o", "", "output trace path (defaults to <workload>.fsim.gz)")
+		report = flag.Bool("report", false, "print a stream composition report instead of writing a trace")
+	)
+	flag.Parse()
+
+	if err := run(*name, *instrs, *out, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, instrs int64, out string, report bool) error {
+	spec, ok := workload.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	src, err := spec.NewSource()
+	if err != nil {
+		return err
+	}
+	limited := trace.NewLimit(src, instrs)
+
+	if report {
+		st, err := trace.Measure(limited)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload       %s (%s)\n", spec.Name, spec.Category)
+		fmt.Printf("instructions   %d\n", st.Instructions)
+		fmt.Printf("footprint      %d KiB (%d lines)\n", st.Footprint()>>10, st.UniqueLines)
+		fmt.Printf("branch frac    %.3f (taken %.3f)\n", st.BranchFraction(),
+			float64(st.TakenBranch)/float64(max64(st.Instructions, 1)))
+		for c := 0; c < isa.NumClasses; c++ {
+			if st.ByClass[c] == 0 {
+				continue
+			}
+			fmt.Printf("  %-14s %9d (%.2f%%)\n", isa.Class(c), st.ByClass[c],
+				100*float64(st.ByClass[c])/float64(st.Instructions))
+		}
+		return nil
+	}
+
+	if out == "" {
+		out = name + ".fsim.gz"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	n, err := trace.Copy(w, limited)
+	if err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d instructions to %s (%d bytes, %.2f bits/instr)\n",
+		n, out, info.Size(), 8*float64(info.Size())/float64(n))
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frontsim/internal/trace"
+)
+
+func TestRunWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "w.fsim.gz")
+	if err := run("secret_crypto52", 50_000, out, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Collect(r, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50_000 {
+		t.Fatalf("trace holds %d instructions", len(got))
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	if err := run("secret_int_44", 30_000, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if err := run("bogus", 1000, "", true); err == nil {
+		t.Fatal("accepted unknown workload")
+	}
+}

@@ -1,0 +1,16 @@
+// Package frontsim is a trace-driven CPU front-end simulator reproducing
+// "A Characterization of the Effects of Software Instruction Prefetching
+// on an Aggressive Front-end" (ISPASS 2023).
+//
+// The simulator models a decoupled fetch-directed-prefetching (FDP)
+// front-end — branch-predictor-driven FTQ fill, out-of-order L1-I fetch,
+// in-order decode, post-fetch correction — over a full cache hierarchy and
+// a simplified out-of-order back-end, together with the AsmDB software
+// instruction prefetcher (profile, CFG analysis, binary rewriting) and the
+// 48-workload synthetic suite standing in for the paper's CVP-1 traces.
+//
+// Start with the examples/ directory, the cmd/experiments tool (which
+// regenerates every table and figure in the paper), and DESIGN.md for the
+// system inventory. The root-level benchmarks in bench_test.go map one
+// benchmark to each paper artifact.
+package frontsim

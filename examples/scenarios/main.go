@@ -1,0 +1,86 @@
+// Scenarios: a hand-crafted demonstration of the paper's three front-end
+// states (§III) using the FTQ directly:
+//
+//	Scenario 1 — shoot-through: every entry fetched, decode-bound.
+//	Scenario 2 — stalling head: a slow head blocks completed followers.
+//	Scenario 3 — shadow stalls: an entry reaches the head still fetching
+//	             because the previous head only partially covered it.
+//
+// The example drives a small FTQ with a scripted memory so the state
+// transitions are exact and visible.
+package main
+
+import (
+	"fmt"
+
+	"frontsim/internal/cache"
+	"frontsim/internal/ftq"
+	"frontsim/internal/isa"
+)
+
+// block builds a basic block of n ALU instructions at pc.
+func block(pc isa.Addr, n int) []isa.Instr {
+	out := make([]isa.Instr, n)
+	for i := range out {
+		out[i] = isa.Instr{PC: pc + isa.Addr(i*isa.InstrSize), Class: isa.ClassALU}
+	}
+	return out
+}
+
+// scriptedFetch returns per-line latencies from a table (default 4 cycles,
+// an L1-I hit).
+func scriptedFetch(lat map[isa.Addr]cache.Cycle) ftq.FetchFunc {
+	return func(line isa.Addr, now cache.Cycle) cache.Cycle {
+		if l, ok := lat[line.Line()]; ok {
+			return now + l
+		}
+		return now + 4
+	}
+}
+
+func drainAndReport(name string, q *ftq.FTQ, until cache.Cycle) {
+	for now := cache.Cycle(0); now < until; now++ {
+		q.Tick(now)
+		q.PopReady(now, 6, nil)
+	}
+	st := q.Stats()
+	fmt.Printf("%-28s head-stall=%3d cycles  waiting=%d entries (%d entry-cycles)  partial=%d entries\n",
+		name, st.HeadStallCycles, st.WaitingEntries, st.WaitingEntryCycles, st.PartialEntries)
+}
+
+func main() {
+	fmt.Println("FTQ scenario walkthrough (paper §III)")
+	fmt.Println()
+
+	// Scenario 1: every block hits the L1-I; the queue shoots through.
+	q := ftq.New(4)
+	fetch := scriptedFetch(nil)
+	q.Push(block(0x1000, 4), 0, fetch)
+	q.Push(block(0x2000, 4), 0, fetch)
+	q.Push(block(0x3000, 4), 0, fetch)
+	drainAndReport("scenario 1 (shoot-through)", q, 20)
+
+	// Scenario 2: the head misses to the LLC (60 cycles) while its
+	// followers hit; they complete and wait behind it.
+	q = ftq.New(4)
+	fetch = scriptedFetch(map[isa.Addr]cache.Cycle{0x1000: 60})
+	q.Push(block(0x1000, 4), 0, fetch)
+	q.Push(block(0x2000, 4), 0, fetch)
+	q.Push(block(0x3000, 4), 0, fetch)
+	drainAndReport("scenario 2 (stalling head)", q, 80)
+
+	// Scenario 3: the head's 30-cycle stall only partially covers the
+	// follower's 90-cycle fetch: the follower becomes head still fetching.
+	q = ftq.New(4)
+	fetch = scriptedFetch(map[isa.Addr]cache.Cycle{0x1000: 30, 0x2000: 90})
+	q.Push(block(0x1000, 4), 0, fetch)
+	q.Push(block(0x2000, 4), 0, fetch)
+	q.Push(block(0x3000, 4), 0, fetch)
+	drainAndReport("scenario 3 (shadow stall)", q, 120)
+
+	fmt.Println()
+	fmt.Println("Scenario 2 is where a software prefetch instruction helps — unless the")
+	fmt.Println("prefetch itself adds entries that stall, which is the paper's finding on")
+	fmt.Println("aggressive front-ends: inserted instructions raise Scenario-2 incidence")
+	fmt.Println("faster than they remove it.")
+}

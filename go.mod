@@ -1,0 +1,3 @@
+module frontsim
+
+go 1.22

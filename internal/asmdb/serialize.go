@@ -1,0 +1,99 @@
+package asmdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"frontsim/internal/isa"
+)
+
+// planJSON is the on-disk representation of a Plan. Addresses serialize as
+// hex strings for human-diffable output.
+type planJSON struct {
+	Version        int             `json:"version"`
+	MinDistance    int             `json:"min_distance"`
+	TargetsCovered int             `json:"targets_covered"`
+	MissesCovered  int64           `json:"misses_covered"`
+	TotalMisses    int64           `json:"total_misses"`
+	Insertions     []insertionJSON `json:"insertions"`
+}
+
+type insertionJSON struct {
+	Site         string  `json:"site"`
+	Target       string  `json:"target"`
+	Distance     int     `json:"distance"`
+	Prob         float64 `json:"prob"`
+	TargetMisses int64   `json:"target_misses"`
+}
+
+const planFormatVersion = 1
+
+// Encode serializes the plan as JSON.
+func (p *Plan) Encode(w io.Writer) error {
+	out := planJSON{
+		Version:        planFormatVersion,
+		MinDistance:    p.MinDistance,
+		TargetsCovered: p.TargetsCovered,
+		MissesCovered:  p.MissesCovered,
+		TotalMisses:    p.TotalMisses,
+		Insertions:     make([]insertionJSON, len(p.Insertions)),
+	}
+	for i, ins := range p.Insertions {
+		out.Insertions[i] = insertionJSON{
+			Site:         ins.Site.String(),
+			Target:       ins.Target.String(),
+			Distance:     ins.Distance,
+			Prob:         ins.Prob,
+			TargetMisses: ins.TargetMisses,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadPlan deserializes a plan written by Encode.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	var in planJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("asmdb: decoding plan: %w", err)
+	}
+	if in.Version != planFormatVersion {
+		return nil, fmt.Errorf("asmdb: unsupported plan version %d", in.Version)
+	}
+	p := &Plan{
+		MinDistance:    in.MinDistance,
+		TargetsCovered: in.TargetsCovered,
+		MissesCovered:  in.MissesCovered,
+		TotalMisses:    in.TotalMisses,
+		Insertions:     make([]Insertion, len(in.Insertions)),
+	}
+	for i, ins := range in.Insertions {
+		site, err := parseAddr(ins.Site)
+		if err != nil {
+			return nil, fmt.Errorf("asmdb: insertion %d site: %w", i, err)
+		}
+		target, err := parseAddr(ins.Target)
+		if err != nil {
+			return nil, fmt.Errorf("asmdb: insertion %d target: %w", i, err)
+		}
+		p.Insertions[i] = Insertion{
+			Site:         site,
+			Target:       target,
+			Distance:     ins.Distance,
+			Prob:         ins.Prob,
+			TargetMisses: ins.TargetMisses,
+		}
+	}
+	return p, nil
+}
+
+// parseAddr parses the hex form isa.Addr.String produces ("0x...").
+func parseAddr(s string) (isa.Addr, error) {
+	var v uint64
+	if _, err := fmt.Sscanf(s, "0x%x", &v); err != nil {
+		return 0, fmt.Errorf("bad address %q: %w", s, err)
+	}
+	return isa.Addr(v), nil
+}

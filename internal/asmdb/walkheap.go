@@ -1,0 +1,66 @@
+package asmdb
+
+import "frontsim/internal/isa"
+
+// walkState is one backward-walk frontier entry.
+type walkState struct {
+	pc   isa.Addr
+	prob float64
+	dist int
+}
+
+// before defines the deterministic pop order: highest probability first,
+// then shortest distance, then lowest PC.
+func (a walkState) before(b walkState) bool {
+	if a.prob != b.prob {
+		return a.prob > b.prob
+	}
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.pc < b.pc
+}
+
+// walkHeap is a binary heap over walkState with the `before` ordering.
+type walkHeap struct {
+	items []walkState
+}
+
+func (h *walkHeap) len() int { return len(h.items) }
+
+func (h *walkHeap) push(s walkState) {
+	h.items = append(h.items, s)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].before(h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *walkHeap) pop() walkState {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		first := i
+		if l < len(h.items) && h.items[l].before(h.items[first]) {
+			first = l
+		}
+		if r < len(h.items) && h.items[r].before(h.items[first]) {
+			first = r
+		}
+		if first == i {
+			break
+		}
+		h.items[i], h.items[first] = h.items[first], h.items[i]
+		i = first
+	}
+	return top
+}

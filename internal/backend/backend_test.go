@@ -1,0 +1,217 @@
+package backend
+
+import (
+	"testing"
+
+	"frontsim/internal/cache"
+	"frontsim/internal/isa"
+)
+
+type recordResolver struct {
+	seqs  []int64
+	dones []cache.Cycle
+}
+
+func (r *recordResolver) OnBranchResolved(seq int64, done cache.Cycle) {
+	r.seqs = append(r.seqs, seq)
+	r.dones = append(r.dones, done)
+}
+
+func newBE(t *testing.T, cfg Config, res BranchResolver) (*Backend, *cache.Hierarchy) {
+	t.Helper()
+	h, err := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, h, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, h
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.ROBSize = 0 },
+		func(c *Config) { c.DispatchWidth = 0 },
+		func(c *Config) { c.RetireWidth = -1 },
+		func(c *Config) { c.ALULatency = 0 },
+		func(c *Config) { c.PipelineDepth = -1 },
+	}
+	for i, m := range muts {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestALURetireTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	b, _ := newBE(t, cfg, nil)
+	b.Dispatch([]isa.Instr{{PC: 0x1000, Class: isa.ClassALU}}, 0)
+	// done = 0 + depth(8) + 1 = 9; not retirable before.
+	if n := b.Retire(8); n != 0 {
+		t.Fatalf("retired %d at cycle 8", n)
+	}
+	if n := b.Retire(9); n != 1 {
+		t.Fatalf("retired %d at cycle 9", n)
+	}
+	if !b.Drained() {
+		t.Fatal("not drained")
+	}
+	st := b.Stats()
+	if st.Dispatched != 1 || st.Retired != 1 || st.RetiredProgram != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestInOrderRetirement(t *testing.T) {
+	cfg := DefaultConfig()
+	b, _ := newBE(t, cfg, nil)
+	// A slow load followed by a fast ALU: the ALU cannot retire first.
+	b.Dispatch([]isa.Instr{
+		{PC: 0x1000, Class: isa.ClassLoad, DataAddr: 0x5000000}, // cold: DRAM
+		{PC: 0x1004, Class: isa.ClassALU},
+	}, 0)
+	if n := b.Retire(20); n != 0 {
+		t.Fatalf("retired %d before the load completed", n)
+	}
+	// Cold load: 8 (depth) + 5+15+40+200 = 268.
+	if n := b.Retire(300); n != 2 {
+		t.Fatalf("retired %d at cycle 300", n)
+	}
+}
+
+func TestRetireWidthCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RetireWidth = 2
+	b, _ := newBE(t, cfg, nil)
+	var instrs []isa.Instr
+	for i := 0; i < 6; i++ {
+		instrs = append(instrs, isa.Instr{PC: isa.Addr(0x1000 + i*4), Class: isa.ClassALU})
+	}
+	b.Dispatch(instrs, 0)
+	if n := b.Retire(100); n != 2 {
+		t.Fatalf("retired %d, want width cap 2", n)
+	}
+	if n := b.Retire(101); n != 2 {
+		t.Fatalf("second cycle retired %d", n)
+	}
+}
+
+func TestBranchResolution(t *testing.T) {
+	res := &recordResolver{}
+	cfg := DefaultConfig()
+	b, _ := newBE(t, cfg, res)
+	b.Dispatch([]isa.Instr{
+		{PC: 0x1000, Class: isa.ClassALU},
+		{PC: 0x1004, Class: isa.ClassBranch, Taken: true, Target: 0x2000},
+	}, 10)
+	if len(res.seqs) != 1 || res.seqs[0] != 1 {
+		t.Fatalf("resolved seqs %v, want [1]", res.seqs)
+	}
+	want := cache.Cycle(10) + cfg.PipelineDepth + cfg.BranchLatency
+	if res.dones[0] != want {
+		t.Fatalf("resolution at %d, want %d", res.dones[0], want)
+	}
+}
+
+func TestSwPrefetchAccounting(t *testing.T) {
+	b, _ := newBE(t, DefaultConfig(), nil)
+	b.Dispatch([]isa.Instr{
+		{PC: 0x1000, Class: isa.ClassSwPrefetch, Target: 0x9000},
+		{PC: 0x1004, Class: isa.ClassALU},
+	}, 0)
+	b.Retire(100)
+	st := b.Stats()
+	if st.RetiredProgram != 1 || st.RetiredSwPf != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDispatchBudgetAndROBFull(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ROBSize = 4
+	cfg.DispatchWidth = 6
+	b, _ := newBE(t, cfg, nil)
+	if got := b.DispatchBudget(); got != 4 {
+		t.Fatalf("budget %d, want ROB-capped 4", got)
+	}
+	var instrs []isa.Instr
+	for i := 0; i < 4; i++ {
+		instrs = append(instrs, isa.Instr{PC: isa.Addr(i * 4), Class: isa.ClassALU})
+	}
+	b.Dispatch(instrs, 0)
+	if got := b.DispatchBudget(); got != 0 {
+		t.Fatalf("budget %d on full ROB", got)
+	}
+	if b.Stats().ROBFullCycles != 1 {
+		t.Fatalf("ROBFullCycles = %d", b.Stats().ROBFullCycles)
+	}
+}
+
+func TestDispatchOverflowPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ROBSize = 1
+	b, _ := newBE(t, cfg, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on overflow")
+		}
+	}()
+	b.Dispatch([]isa.Instr{{Class: isa.ClassALU}, {Class: isa.ClassALU}}, 0)
+}
+
+func TestLoadsAndStoresTouchHierarchy(t *testing.T) {
+	b, h := newBE(t, DefaultConfig(), nil)
+	b.Dispatch([]isa.Instr{
+		{PC: 0x1000, Class: isa.ClassLoad, DataAddr: 0x100000},
+		{PC: 0x1004, Class: isa.ClassStore, DataAddr: 0x200000},
+	}, 0)
+	st := h.L1D.Stats()
+	if st.Accesses != 2 {
+		t.Fatalf("L1D accesses = %d", st.Accesses)
+	}
+	bst := b.Stats()
+	if bst.LoadInstrs != 1 || bst.StoreInstrs != 1 {
+		t.Fatalf("stats %+v", bst)
+	}
+}
+
+func TestStoreDoesNotStallRetire(t *testing.T) {
+	cfg := DefaultConfig()
+	b, _ := newBE(t, cfg, nil)
+	b.Dispatch([]isa.Instr{{PC: 0x1000, Class: isa.ClassStore, DataAddr: 0x5000000}}, 0)
+	// Store retires at depth+1 despite the cold line.
+	if n := b.Retire(cfg.PipelineDepth + cfg.StoreLatency); n != 1 {
+		t.Fatalf("store did not retire promptly: %d", n)
+	}
+}
+
+func TestMulLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	b, _ := newBE(t, cfg, nil)
+	b.Dispatch([]isa.Instr{{PC: 0x1000, Class: isa.ClassMul}}, 0)
+	early := cfg.PipelineDepth + cfg.MulLatency - 1
+	if n := b.Retire(early); n != 0 {
+		t.Fatal("mul retired early")
+	}
+	if n := b.Retire(early + 1); n != 1 {
+		t.Fatal("mul did not retire on time")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	b, _ := newBE(t, DefaultConfig(), nil)
+	b.Dispatch([]isa.Instr{{Class: isa.ClassALU}}, 0)
+	b.Retire(100)
+	b.ResetStats()
+	if b.Stats() != (Stats{}) {
+		t.Fatal("stats survived reset")
+	}
+}

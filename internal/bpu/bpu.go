@@ -1,0 +1,509 @@
+// Package bpu implements the branch-prediction substrate the decoupled
+// front-end runs ahead with: a global history register with the Ishii et
+// al. not-taken/BTB-miss filtering option, a bimodal+gshare tournament
+// direction predictor (with a TAGE-like option), a set-associative branch
+// target buffer, a return address stack, and a history-hashed indirect
+// target predictor.
+//
+// The simulator is trace-driven, so prediction is evaluated against the
+// known true outcome: PredictAndTrain returns how the front-end would have
+// behaved (correct path, wrong path recoverable at pre-decode via
+// post-fetch correction, or wrong path until execute) and trains the
+// structures with the truth.
+package bpu
+
+import (
+	"fmt"
+
+	"frontsim/internal/isa"
+)
+
+// Recovery describes when the front-end learns it left the true path.
+type Recovery uint8
+
+const (
+	// RecoverNone: the front-end followed the true path.
+	RecoverNone Recovery = iota
+	// RecoverPreDecode: a BTB-missed direct branch is discoverable when the
+	// fetched cache line is pre-decoded (post-fetch correction, §II-A).
+	RecoverPreDecode
+	// RecoverExecute: the wrong path persists until the branch resolves in
+	// the back-end.
+	RecoverExecute
+)
+
+// String names the recovery point.
+func (r Recovery) String() string {
+	switch r {
+	case RecoverNone:
+		return "none"
+	case RecoverPreDecode:
+		return "pre-decode"
+	case RecoverExecute:
+		return "execute"
+	}
+	return fmt.Sprintf("recovery(%d)", uint8(r))
+}
+
+// Result reports the front-end-visible outcome of predicting one branch.
+type Result struct {
+	// CorrectPath is true when fetch continues along the true path.
+	CorrectPath bool
+	// Recovery is where the wrong path gets corrected (when !CorrectPath).
+	Recovery Recovery
+	// BTBMiss reports the branch was not identified by the BTB.
+	BTBMiss bool
+	// DirectionMispredict reports a conditional predicted the wrong way.
+	DirectionMispredict bool
+	// TargetMispredict reports an identified branch whose predicted target
+	// (RAS or indirect predictor) was wrong.
+	TargetMispredict bool
+	// BTBL2Fill reports the branch was found only in the second BTB level
+	// (two-level configuration): correct path, but the fill engine pays a
+	// bubble while the entry is promoted.
+	BTBL2Fill bool
+}
+
+// Config sizes the predictor structures. Defaults follow the
+// industry-perspective FDP papers' budgets.
+type Config struct {
+	// GHRBits is the global history length used by gshare hashing.
+	GHRBits int
+	// GshareBits log2-sizes the gshare table.
+	GshareBits int
+	// BimodalBits log2-sizes the bimodal table.
+	BimodalBits int
+	// ChooserBits log2-sizes the tournament chooser.
+	ChooserBits int
+	// BTBEntries and BTBWays size the branch target buffer.
+	BTBEntries int
+	BTBWays    int
+	// RASDepth is the return address stack depth.
+	RASDepth int
+	// IndirectBits log2-sizes the indirect target table.
+	IndirectBits int
+	// FilterGHR enables the Ishii et al. improvement: not-taken branches
+	// that miss in the BTB do not pollute the GHR (they look like
+	// sequential fetch, §II-A).
+	FilterGHR bool
+	// UseTAGE replaces the bimodal+gshare tournament with the TAGE-lite
+	// predictor for conditional directions (ablation comparator).
+	UseTAGE bool
+	// L1BTBEntries, when positive, splits the BTB into two levels as in
+	// the Ishii et al. design: a small first-level BTB consulted at full
+	// fill speed (this many entries, same associativity) backed by the
+	// main BTB; a hit only in the second level still identifies the
+	// branch but costs the front-end a fill bubble (Result.BTBL2Fill).
+	// Zero keeps the single-level BTB.
+	L1BTBEntries int
+	// TAGE sizes the TAGE-lite predictor when UseTAGE is set; the zero
+	// value selects DefaultTAGEConfig.
+	TAGE TAGEConfig
+}
+
+// DefaultConfig returns the paper-scale predictor budget.
+func DefaultConfig() Config {
+	return Config{
+		GHRBits:      32,
+		GshareBits:   16,
+		BimodalBits:  14,
+		ChooserBits:  14,
+		BTBEntries:   16384,
+		BTBWays:      4,
+		RASDepth:     64,
+		IndirectBits: 12,
+		FilterGHR:    true,
+	}
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	if c.GHRBits <= 0 || c.GHRBits > 64 {
+		return fmt.Errorf("bpu: GHRBits %d out of (0,64]", c.GHRBits)
+	}
+	for _, v := range []struct {
+		name string
+		bits int
+	}{
+		{"GshareBits", c.GshareBits},
+		{"BimodalBits", c.BimodalBits},
+		{"ChooserBits", c.ChooserBits},
+		{"IndirectBits", c.IndirectBits},
+	} {
+		if v.bits <= 0 || v.bits > 28 {
+			return fmt.Errorf("bpu: %s %d out of range", v.name, v.bits)
+		}
+	}
+	if c.BTBEntries <= 0 || c.BTBWays <= 0 || c.BTBEntries%c.BTBWays != 0 {
+		return fmt.Errorf("bpu: BTB geometry %d/%d invalid", c.BTBEntries, c.BTBWays)
+	}
+	sets := c.BTBEntries / c.BTBWays
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("bpu: BTB sets %d not a power of two", sets)
+	}
+	if c.RASDepth <= 0 {
+		return fmt.Errorf("bpu: RASDepth %d", c.RASDepth)
+	}
+	if c.L1BTBEntries < 0 || c.L1BTBEntries%c.BTBWays != 0 {
+		return fmt.Errorf("bpu: L1BTBEntries %d not a multiple of ways", c.L1BTBEntries)
+	}
+	if c.L1BTBEntries > 0 {
+		sets := c.L1BTBEntries / c.BTBWays
+		if sets&(sets-1) != 0 {
+			return fmt.Errorf("bpu: L1 BTB sets %d not a power of two", sets)
+		}
+	}
+	if c.UseTAGE {
+		t := c.TAGE
+		if t == (TAGEConfig{}) {
+			t = DefaultTAGEConfig()
+		}
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats counts predictor behaviour.
+type Stats struct {
+	Branches            int64
+	CondBranches        int64
+	CondMispredicts     int64
+	BTBLookups          int64
+	BTBMisses           int64
+	BTBMissTaken        int64 // BTB misses on taken/unconditional branches
+	RASPredictions      int64
+	RASMispredicts      int64
+	IndirectPredictions int64
+	IndirectMispredicts int64
+	WrongPath           int64 // results where CorrectPath=false
+	GHRFiltered         int64 // not-taken BTB-miss branches kept out of GHR
+	BTBL2Fills          int64 // hits found only in the second BTB level
+}
+
+// CondAccuracy returns conditional direction accuracy.
+func (s *Stats) CondAccuracy() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return 1 - float64(s.CondMispredicts)/float64(s.CondBranches)
+}
+
+// BTBHitRate returns the BTB hit rate.
+func (s *Stats) BTBHitRate() float64 {
+	if s.BTBLookups == 0 {
+		return 0
+	}
+	return 1 - float64(s.BTBMisses)/float64(s.BTBLookups)
+}
+
+// BPU is the complete branch prediction unit.
+type BPU struct {
+	cfg Config
+
+	ghr     uint64
+	ghrMask uint64
+
+	gshare  []uint8 // 2-bit counters
+	bimodal []uint8
+	chooser []uint8 // 2-bit: >=2 prefer gshare
+
+	btb   *BTB
+	btbL1 *BTB // non-nil in the two-level configuration
+	ras   *RAS
+	ind   []isa.Addr // indirect target table
+	tage  *TAGE      // non-nil when cfg.UseTAGE
+
+	stats Stats
+}
+
+// lookupBTB consults the one- or two-level BTB. l2Only reports a hit found
+// only in the second level (entry promoted to L1 as a side effect).
+func (b *BPU) lookupBTB(pc isa.Addr) (hit, l2Only bool) {
+	if b.btbL1 == nil {
+		_, ok := b.btb.Lookup(pc)
+		return ok, false
+	}
+	if _, ok := b.btbL1.Lookup(pc); ok {
+		// Keep the second level's recency warm too (inclusive management).
+		b.btb.Lookup(pc)
+		return true, false
+	}
+	e, ok := b.btb.Lookup(pc)
+	if !ok {
+		return false, false
+	}
+	b.btbL1.Update(pc, e.Target, e.Class)
+	return true, true
+}
+
+// updateBTB trains both levels with the resolved branch.
+func (b *BPU) updateBTB(pc, target isa.Addr, class isa.Class) {
+	b.btb.Update(pc, target, class)
+	if b.btbL1 != nil {
+		b.btbL1.Update(pc, target, class)
+	}
+}
+
+// New builds a BPU; the config must validate.
+func New(cfg Config) (*BPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &BPU{
+		cfg:     cfg,
+		ghrMask: (uint64(1) << cfg.GHRBits) - 1,
+		gshare:  make([]uint8, 1<<cfg.GshareBits),
+		bimodal: make([]uint8, 1<<cfg.BimodalBits),
+		chooser: make([]uint8, 1<<cfg.ChooserBits),
+		btb:     NewBTB(cfg.BTBEntries/cfg.BTBWays, cfg.BTBWays),
+		ras:     NewRAS(cfg.RASDepth),
+		ind:     make([]isa.Addr, 1<<cfg.IndirectBits),
+	}
+	// Weakly-taken initial counters converge faster on loop-heavy code.
+	for i := range b.gshare {
+		b.gshare[i] = 2
+	}
+	for i := range b.bimodal {
+		b.bimodal[i] = 2
+	}
+	for i := range b.chooser {
+		b.chooser[i] = 1
+	}
+	if cfg.UseTAGE {
+		tcfg := cfg.TAGE
+		if tcfg == (TAGEConfig{}) {
+			tcfg = DefaultTAGEConfig()
+		}
+		tage, err := NewTAGE(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		b.tage = tage
+	}
+	if cfg.L1BTBEntries > 0 {
+		b.btbL1 = NewBTB(cfg.L1BTBEntries/cfg.BTBWays, cfg.BTBWays)
+	}
+	return b, nil
+}
+
+// MustNew panics on config error; convenience for defaults known valid.
+func MustNew(cfg Config) *BPU {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Stats returns a snapshot of the counters.
+func (b *BPU) Stats() Stats { return b.stats }
+
+// ResetStats clears counters, keeping learned state.
+func (b *BPU) ResetStats() { b.stats = Stats{} }
+
+// GHR exposes the current (masked) global history for tests.
+func (b *BPU) GHR() uint64 { return b.ghr & b.ghrMask }
+
+func (b *BPU) gshareIndex(pc isa.Addr) int {
+	h := uint64(pc) >> 2
+	h ^= b.ghr & b.ghrMask
+	return int(h & uint64(len(b.gshare)-1))
+}
+
+func (b *BPU) bimodalIndex(pc isa.Addr) int {
+	return int((uint64(pc) >> 2) & uint64(len(b.bimodal)-1))
+}
+
+func (b *BPU) chooserIndex(pc isa.Addr) int {
+	return int((uint64(pc) >> 2) & uint64(len(b.chooser)-1))
+}
+
+func counterTaken(c uint8) bool { return c >= 2 }
+
+func bump(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// predictDirection returns the direction prediction without training
+// (tournament by default, TAGE-lite when configured).
+func (b *BPU) predictDirection(pc isa.Addr) bool {
+	if b.tage != nil {
+		return b.tage.Predict(pc)
+	}
+	g := counterTaken(b.gshare[b.gshareIndex(pc)])
+	m := counterTaken(b.bimodal[b.bimodalIndex(pc)])
+	if counterTaken(b.chooser[b.chooserIndex(pc)]) {
+		return g
+	}
+	return m
+}
+
+// trainDirection updates tables with the true outcome.
+func (b *BPU) trainDirection(pc isa.Addr, taken bool) {
+	if b.tage != nil {
+		b.tage.Train(pc, taken)
+		return
+	}
+	gi, mi, ci := b.gshareIndex(pc), b.bimodalIndex(pc), b.chooserIndex(pc)
+	g := counterTaken(b.gshare[gi])
+	m := counterTaken(b.bimodal[mi])
+	if g != m {
+		b.chooser[ci] = bump(b.chooser[ci], g == taken)
+	}
+	b.gshare[gi] = bump(b.gshare[gi], taken)
+	b.bimodal[mi] = bump(b.bimodal[mi], taken)
+}
+
+func (b *BPU) pushGHR(taken bool) {
+	b.ghr <<= 1
+	if taken {
+		b.ghr |= 1
+	}
+	b.ghr &= b.ghrMask
+}
+
+func (b *BPU) indirectIndex(pc isa.Addr) int {
+	// Per-site last-target prediction: indexing by PC alone outperforms
+	// history mixing here because the dominant indirect behaviour is
+	// temporal repetition of a site's previous target; folding history in
+	// scatters each site across many mostly-cold slots.
+	h := (uint64(pc) >> 2) * 0x9e3779b97f4a7c15 >> 32
+	return int(h & uint64(len(b.ind)-1))
+}
+
+// PredictAndTrain evaluates the front-end outcome for one dynamic branch
+// (in must satisfy in.Class.IsBranch()) and trains all structures with the
+// true outcome. The returned Result tells the caller whether run-ahead
+// fetch stayed on the true path and, if not, where it recovers.
+func (b *BPU) PredictAndTrain(in isa.Instr) Result {
+	if !in.Class.IsBranch() {
+		panic(fmt.Sprintf("bpu: PredictAndTrain on non-branch %v", in.Class))
+	}
+	b.stats.Branches++
+	b.stats.BTBLookups++
+
+	btbHit, l2Only := b.lookupBTB(in.PC)
+	if l2Only {
+		b.stats.BTBL2Fills++
+	}
+	var res Result
+
+	switch in.Class {
+	case isa.ClassBranch:
+		b.stats.CondBranches++
+		predTaken := b.predictDirection(in.PC)
+		b.trainDirection(in.PC, in.Taken)
+		if !btbHit {
+			b.stats.BTBMisses++
+			if in.Taken {
+				// The front-end fetched sequentially past an undetected
+				// taken branch; pre-decode of the fetched line exposes the
+				// direct branch and its target (PFC).
+				b.stats.BTBMissTaken++
+				res = Result{CorrectPath: false, Recovery: RecoverPreDecode, BTBMiss: true}
+				b.pushGHR(true)
+			} else {
+				// Sequential fetch was correct anyway. With FilterGHR the
+				// branch stays out of the history (it was invisible).
+				res = Result{CorrectPath: true, BTBMiss: true}
+				if b.cfg.FilterGHR {
+					b.stats.GHRFiltered++
+				} else {
+					b.pushGHR(false)
+				}
+			}
+		} else {
+			correct := predTaken == in.Taken
+			if !correct {
+				b.stats.CondMispredicts++
+				res = Result{CorrectPath: false, Recovery: RecoverExecute, DirectionMispredict: true}
+			} else {
+				res = Result{CorrectPath: true}
+			}
+			b.pushGHR(in.Taken)
+		}
+	case isa.ClassJump, isa.ClassCall:
+		if !btbHit {
+			b.stats.BTBMisses++
+			b.stats.BTBMissTaken++
+			res = Result{CorrectPath: false, Recovery: RecoverPreDecode, BTBMiss: true}
+		} else {
+			// Direct target stored in the BTB; targets of direct branches
+			// never change.
+			res = Result{CorrectPath: true}
+		}
+		if in.Class == isa.ClassCall {
+			b.ras.Push(in.PC + isa.InstrSize)
+		}
+	case isa.ClassReturn:
+		if !btbHit {
+			b.stats.BTBMisses++
+			b.stats.BTBMissTaken++
+			// Pre-decode identifies the return; the RAS then supplies the
+			// target, so PFC recovers it like other direct branches.
+			res = Result{CorrectPath: false, Recovery: RecoverPreDecode, BTBMiss: true}
+			b.ras.Pop()
+		} else {
+			b.stats.RASPredictions++
+			pred, ok := b.ras.Pop()
+			if ok && pred == in.Target {
+				res = Result{CorrectPath: true}
+			} else {
+				b.stats.RASMispredicts++
+				res = Result{CorrectPath: false, Recovery: RecoverExecute, TargetMispredict: true}
+			}
+		}
+	case isa.ClassIndirect, isa.ClassIndirectCall:
+		if !btbHit {
+			b.stats.BTBMisses++
+			b.stats.BTBMissTaken++
+			// Target comes from a register: pre-decode cannot recover it.
+			res = Result{CorrectPath: false, Recovery: RecoverExecute, BTBMiss: true}
+		} else {
+			b.stats.IndirectPredictions++
+			idx := b.indirectIndex(in.PC)
+			pred := b.ind[idx]
+			if pred == in.Target {
+				res = Result{CorrectPath: true}
+			} else {
+				b.stats.IndirectMispredicts++
+				res = Result{CorrectPath: false, Recovery: RecoverExecute, TargetMispredict: true}
+			}
+			b.ind[idx] = in.Target
+		}
+		if in.Class == isa.ClassIndirectCall {
+			b.ras.Push(in.PC + isa.InstrSize)
+		}
+	}
+
+	// Train the BTB with the truth: allocate on taken/unconditional
+	// branches (a not-taken conditional that was never seen leaves no BTB
+	// footprint, matching real allocate-on-taken BTBs).
+	if in.Taken || btbHit {
+		b.updateBTB(in.PC, in.Target, in.Class)
+	}
+	// Indirect table warms even on a BTB miss so the next encounter can
+	// predict.
+	if in.Class.IsIndirect() && !btbHit {
+		b.ind[b.indirectIndex(in.PC)] = in.Target
+	}
+
+	if l2Only {
+		res.BTBL2Fill = true
+	}
+	if !res.CorrectPath {
+		b.stats.WrongPath++
+	}
+	return res
+}

@@ -1,0 +1,136 @@
+package bpu
+
+import "frontsim/internal/isa"
+
+// BTBEntry holds one identified branch.
+type BTBEntry struct {
+	Target isa.Addr
+	Class  isa.Class
+}
+
+type btbLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+	entry BTBEntry
+}
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+type BTB struct {
+	sets  int
+	ways  int
+	lines []btbLine
+	clk   uint64
+
+	lookups int64
+	hits    int64
+}
+
+// NewBTB builds a BTB with the given geometry; sets must be a power of two.
+func NewBTB(sets, ways int) *BTB {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("bpu: invalid BTB geometry")
+	}
+	return &BTB{sets: sets, ways: ways, lines: make([]btbLine, sets*ways)}
+}
+
+func (b *BTB) index(pc isa.Addr) int {
+	return int((uint64(pc) >> 2) & uint64(b.sets-1))
+}
+
+func (b *BTB) tag(pc isa.Addr) uint64 {
+	return (uint64(pc) >> 2) / uint64(b.sets)
+}
+
+func (b *BTB) set(pc isa.Addr) []btbLine {
+	i := b.index(pc)
+	return b.lines[i*b.ways : (i+1)*b.ways]
+}
+
+// Lookup returns the entry for pc if present.
+func (b *BTB) Lookup(pc isa.Addr) (BTBEntry, bool) {
+	b.lookups++
+	tag := b.tag(pc)
+	set := b.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			b.clk++
+			set[i].lru = b.clk
+			b.hits++
+			return set[i].entry, true
+		}
+	}
+	return BTBEntry{}, false
+}
+
+// Update installs or refreshes the entry for pc.
+func (b *BTB) Update(pc, target isa.Addr, class isa.Class) {
+	tag := b.tag(pc)
+	set := b.set(pc)
+	b.clk++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].entry = BTBEntry{Target: target, Class: class}
+			set[i].lru = b.clk
+			return
+		}
+	}
+	// Victim selection: prefer an invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = btbLine{tag: tag, valid: true, lru: b.clk, entry: BTBEntry{Target: target, Class: class}}
+}
+
+// HitRate returns the lifetime hit rate.
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}
+
+// RAS is a fixed-depth return address stack. Overflow wraps (overwriting
+// the oldest entry) and underflow returns ok=false, as in hardware.
+type RAS struct {
+	buf  []isa.Addr
+	top  int // index of next push slot
+	size int // live entries, capped at depth
+}
+
+// NewRAS builds a RAS with the given depth.
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		panic("bpu: invalid RAS depth")
+	}
+	return &RAS{buf: make([]isa.Addr, depth)}
+}
+
+// Push records a return address.
+func (r *RAS) Push(a isa.Addr) {
+	r.buf[r.top] = a
+	r.top = (r.top + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+}
+
+// Pop returns the most recent return address.
+func (r *RAS) Pop() (isa.Addr, bool) {
+	if r.size == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.buf)) % len(r.buf)
+	r.size--
+	return r.buf[r.top], true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.size }

@@ -1,0 +1,306 @@
+package bpu
+
+import (
+	"fmt"
+	"math"
+
+	"frontsim/internal/isa"
+)
+
+// TAGEConfig sizes the TAGE-lite conditional direction predictor: a
+// bimodal base table plus NumTables partially-tagged components indexed
+// with geometrically increasing history lengths (Seznec & Michaud's TAGE,
+// reduced: no loop predictor, no statistical corrector, 2-bit useful
+// counters).
+type TAGEConfig struct {
+	// NumTables is the number of tagged components.
+	NumTables int
+	// TableBits log2-sizes each tagged component.
+	TableBits int
+	// TagBits is the partial tag width.
+	TagBits int
+	// MinHistory and MaxHistory bound the geometric history series.
+	MinHistory int
+	MaxHistory int
+	// BaseBits log2-sizes the bimodal base predictor.
+	BaseBits int
+}
+
+// DefaultTAGEConfig returns a budget comparable to the tournament
+// predictor's.
+func DefaultTAGEConfig() TAGEConfig {
+	return TAGEConfig{
+		NumTables:  4,
+		TableBits:  12,
+		TagBits:    9,
+		MinHistory: 4,
+		MaxHistory: 64,
+		BaseBits:   14,
+	}
+}
+
+// Validate checks parameters.
+func (c TAGEConfig) Validate() error {
+	if c.NumTables <= 0 || c.NumTables > 8 {
+		return fmt.Errorf("tage: NumTables %d", c.NumTables)
+	}
+	if c.TableBits <= 0 || c.TableBits > 24 || c.BaseBits <= 0 || c.BaseBits > 24 {
+		return fmt.Errorf("tage: table sizing %d/%d", c.TableBits, c.BaseBits)
+	}
+	if c.TagBits <= 0 || c.TagBits > 16 {
+		return fmt.Errorf("tage: TagBits %d", c.TagBits)
+	}
+	if c.MinHistory <= 0 || c.MaxHistory <= c.MinHistory {
+		return fmt.Errorf("tage: history %d..%d", c.MinHistory, c.MaxHistory)
+	}
+	return nil
+}
+
+type tageEntry struct {
+	tag    uint16
+	ctr    int8  // signed 3-bit counter in [-4,3]; >=0 predicts taken
+	useful uint8 // 2-bit usefulness
+}
+
+// TAGE is the TAGE-lite predictor. It maintains its own (long) global
+// history, updated by the BPU alongside the short GHR.
+type TAGE struct {
+	cfg   TAGEConfig
+	base  []uint8 // 2-bit bimodal
+	comps [][]tageEntry
+	hist  []int // history lengths per component
+
+	// ghist is a circular raw history buffer long enough for MaxHistory.
+	ghist   []uint8
+	gpos    int
+	useAlt  int8 // 4-bit use-alt-on-newly-allocated counter
+	tick    int  // usefulness aging
+	rng     uint32
+	lastHit struct {
+		comp   int // -1 base
+		index  int
+		alt    int // alternate component (-1 base)
+		altIdx int
+	}
+}
+
+// NewTAGE builds the predictor.
+func NewTAGE(cfg TAGEConfig) (*TAGE, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &TAGE{
+		cfg:   cfg,
+		base:  make([]uint8, 1<<cfg.BaseBits),
+		comps: make([][]tageEntry, cfg.NumTables),
+		hist:  make([]int, cfg.NumTables),
+		ghist: make([]uint8, cfg.MaxHistory),
+		rng:   0x2545f491,
+	}
+	for i := range t.base {
+		t.base[i] = 2
+	}
+	// Geometric history series between MinHistory and MaxHistory.
+	ratio := float64(cfg.MaxHistory) / float64(cfg.MinHistory)
+	for i := 0; i < cfg.NumTables; i++ {
+		exp := float64(i) / float64(max(cfg.NumTables-1, 1))
+		t.hist[i] = int(float64(cfg.MinHistory)*powf(ratio, exp) + 0.5)
+		t.comps[i] = make([]tageEntry, 1<<cfg.TableBits)
+	}
+	return t, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func powf(base, exp float64) float64 { return math.Pow(base, exp) }
+
+// foldHistory hashes the most recent n history bits into bits output bits.
+func (t *TAGE) foldHistory(n, bits int) uint64 {
+	var h uint64
+	for i := 0; i < n; i++ {
+		bit := uint64(t.ghist[(t.gpos-1-i+len(t.ghist)*4)%len(t.ghist)])
+		h ^= bit << (i % bits)
+	}
+	return h
+}
+
+func (t *TAGE) index(comp int, pc isa.Addr) int {
+	h := uint64(pc) >> 2
+	h ^= h >> t.cfg.TableBits
+	h ^= t.foldHistory(t.hist[comp], t.cfg.TableBits)
+	h ^= uint64(comp) * 0x9e3779b9
+	return int(h & uint64(len(t.comps[comp])-1))
+}
+
+func (t *TAGE) tag(comp int, pc isa.Addr) uint16 {
+	h := uint64(pc) >> 2
+	h ^= t.foldHistory(t.hist[comp], t.cfg.TagBits) * 3
+	h ^= uint64(comp) * 0x85ebca6b
+	return uint16(h & ((1 << t.cfg.TagBits) - 1))
+}
+
+func (t *TAGE) baseIndex(pc isa.Addr) int {
+	return int((uint64(pc) >> 2) & uint64(len(t.base)-1))
+}
+
+// Predict returns the direction prediction for pc, recording provider
+// state for the subsequent Train call.
+func (t *TAGE) Predict(pc isa.Addr) bool {
+	t.lastHit.comp, t.lastHit.alt = -1, -1
+	// Find the two longest-history hitting components.
+	for c := t.cfg.NumTables - 1; c >= 0; c-- {
+		idx := t.index(c, pc)
+		if t.comps[c][idx].tag == t.tag(c, pc) {
+			if t.lastHit.comp < 0 {
+				t.lastHit.comp, t.lastHit.index = c, idx
+			} else {
+				t.lastHit.alt, t.lastHit.altIdx = c, idx
+				break
+			}
+		}
+	}
+	if t.lastHit.comp < 0 {
+		return counterTaken(t.base[t.baseIndex(pc)])
+	}
+	e := &t.comps[t.lastHit.comp][t.lastHit.index]
+	// Weak newly-allocated entries may defer to the alternate prediction.
+	if t.useAlt >= 0 && (e.ctr == 0 || e.ctr == -1) && e.useful == 0 {
+		return t.altPredict(pc)
+	}
+	return e.ctr >= 0
+}
+
+func (t *TAGE) altPredict(pc isa.Addr) bool {
+	if t.lastHit.alt >= 0 {
+		return t.comps[t.lastHit.alt][t.lastHit.altIdx].ctr >= 0
+	}
+	return counterTaken(t.base[t.baseIndex(pc)])
+}
+
+func (t *TAGE) nextRand() uint32 {
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 17
+	t.rng ^= t.rng << 5
+	return t.rng
+}
+
+// Train updates the predictor with the true outcome; it must follow the
+// Predict call for the same branch.
+func (t *TAGE) Train(pc isa.Addr, taken bool) {
+	pred := t.predictFromState(pc)
+	provider := t.lastHit.comp
+
+	if provider >= 0 {
+		e := &t.comps[provider][t.lastHit.index]
+		alt := t.altPredict(pc)
+		providerPred := e.ctr >= 0
+		// use-alt counter learns whether weak entries should defer.
+		if (e.ctr == 0 || e.ctr == -1) && e.useful == 0 && providerPred != alt {
+			if alt == taken {
+				if t.useAlt < 7 {
+					t.useAlt++
+				}
+			} else if t.useAlt > -8 {
+				t.useAlt--
+			}
+		}
+		// Usefulness: provider correct where alternate wrong.
+		if providerPred == taken && alt != taken && e.useful < 3 {
+			e.useful++
+		}
+		e.ctr = bumpSigned(e.ctr, taken)
+	} else {
+		bi := t.baseIndex(pc)
+		t.base[bi] = bump(t.base[bi], taken)
+	}
+
+	// Allocate a longer-history entry on a misprediction.
+	if pred != taken && provider < t.cfg.NumTables-1 {
+		t.allocate(provider, pc, taken)
+	}
+
+	// Push the outcome into the long history.
+	t.ghist[t.gpos] = boolBit(taken)
+	t.gpos = (t.gpos + 1) % len(t.ghist)
+
+	// Periodic usefulness aging.
+	t.tick++
+	if t.tick >= 1<<18 {
+		t.tick = 0
+		for c := range t.comps {
+			for i := range t.comps[c] {
+				t.comps[c][i].useful >>= 1
+			}
+		}
+	}
+}
+
+// predictFromState recomputes the prediction using the recorded provider
+// state (Predict has already run for this branch).
+func (t *TAGE) predictFromState(pc isa.Addr) bool {
+	if t.lastHit.comp < 0 {
+		return counterTaken(t.base[t.baseIndex(pc)])
+	}
+	e := &t.comps[t.lastHit.comp][t.lastHit.index]
+	if t.useAlt >= 0 && (e.ctr == 0 || e.ctr == -1) && e.useful == 0 {
+		return t.altPredict(pc)
+	}
+	return e.ctr >= 0
+}
+
+// allocate installs a new entry in a component with longer history than
+// the provider, preferring a not-useful victim.
+func (t *TAGE) allocate(provider int, pc isa.Addr, taken bool) {
+	start := provider + 1
+	// Randomize the starting component a little, as TAGE does, to spread
+	// allocations.
+	if start < t.cfg.NumTables-1 && t.nextRand()&1 == 0 {
+		start++
+	}
+	for c := start; c < t.cfg.NumTables; c++ {
+		idx := t.index(c, pc)
+		e := &t.comps[c][idx]
+		if e.useful == 0 {
+			e.tag = t.tag(c, pc)
+			e.useful = 0
+			if taken {
+				e.ctr = 0
+			} else {
+				e.ctr = -1
+			}
+			return
+		}
+	}
+	// No victim: age usefulness along the allocation path.
+	for c := start; c < t.cfg.NumTables; c++ {
+		idx := t.index(c, pc)
+		if t.comps[c][idx].useful > 0 {
+			t.comps[c][idx].useful--
+		}
+	}
+}
+
+func bumpSigned(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}
+
+func boolBit(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,180 @@
+package bpu
+
+import (
+	"testing"
+
+	"frontsim/internal/isa"
+	"frontsim/internal/xrand"
+)
+
+func newTAGE(t *testing.T) *TAGE {
+	t.Helper()
+	tg, err := NewTAGE(DefaultTAGEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestTAGEConfigValidate(t *testing.T) {
+	if err := DefaultTAGEConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*TAGEConfig){
+		func(c *TAGEConfig) { c.NumTables = 0 },
+		func(c *TAGEConfig) { c.NumTables = 9 },
+		func(c *TAGEConfig) { c.TableBits = 0 },
+		func(c *TAGEConfig) { c.TagBits = 0 },
+		func(c *TAGEConfig) { c.TagBits = 20 },
+		func(c *TAGEConfig) { c.MinHistory = 0 },
+		func(c *TAGEConfig) { c.MaxHistory = c.MinHistory },
+		func(c *TAGEConfig) { c.BaseBits = 0 },
+	}
+	for i, m := range muts {
+		c := DefaultTAGEConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestTAGEHistoryLengthsGeometric(t *testing.T) {
+	tg := newTAGE(t)
+	prev := 0
+	for i, h := range tg.hist {
+		if h <= prev {
+			t.Fatalf("history lengths not increasing: %v", tg.hist)
+		}
+		if i == 0 && h != tg.cfg.MinHistory {
+			t.Fatalf("first history %d, want %d", h, tg.cfg.MinHistory)
+		}
+		prev = h
+	}
+	if tg.hist[len(tg.hist)-1] != tg.cfg.MaxHistory {
+		t.Fatalf("last history %d, want %d", tg.hist[len(tg.hist)-1], tg.cfg.MaxHistory)
+	}
+}
+
+// trainLoop runs predict/train over a generated outcome sequence and
+// returns accuracy over the last half.
+func trainLoop(tg *TAGE, pcs []isa.Addr, outcomes func(i int, pc isa.Addr) bool, n int) float64 {
+	correct, counted := 0, 0
+	for i := 0; i < n; i++ {
+		pc := pcs[i%len(pcs)]
+		want := outcomes(i, pc)
+		got := tg.Predict(pc)
+		if i > n/2 {
+			counted++
+			if got == want {
+				correct++
+			}
+		}
+		tg.Train(pc, want)
+	}
+	return float64(correct) / float64(counted)
+}
+
+func TestTAGEBiasedBranch(t *testing.T) {
+	tg := newTAGE(t)
+	acc := trainLoop(tg, []isa.Addr{0x1000}, func(i int, pc isa.Addr) bool { return i%10 != 0 }, 4000)
+	if acc < 0.85 {
+		t.Fatalf("biased accuracy %v", acc)
+	}
+}
+
+func TestTAGEAlternatingBranch(t *testing.T) {
+	tg := newTAGE(t)
+	acc := trainLoop(tg, []isa.Addr{0x1000}, func(i int, pc isa.Addr) bool { return i%2 == 0 }, 4000)
+	if acc < 0.95 {
+		t.Fatalf("alternation accuracy %v (TAGE should capture period-2 history)", acc)
+	}
+}
+
+func TestTAGEPeriodicPattern(t *testing.T) {
+	// A period-7 pattern is beyond bimodal but well within TAGE's shortest
+	// histories.
+	tg := newTAGE(t)
+	pattern := []bool{true, true, false, true, false, false, true}
+	acc := trainLoop(tg, []isa.Addr{0x2000}, func(i int, pc isa.Addr) bool { return pattern[i%len(pattern)] }, 8000)
+	if acc < 0.90 {
+		t.Fatalf("periodic accuracy %v", acc)
+	}
+}
+
+func TestTAGEOutperformsTournamentOnCorrelated(t *testing.T) {
+	// Two branches where the second's outcome equals the first's previous
+	// outcome: pure history correlation.
+	mk := func(useTage bool) float64 {
+		cfg := DefaultConfig()
+		cfg.UseTAGE = useTage
+		b := MustNew(cfg)
+		r := xrand.New(99)
+		last := false
+		correct, total := 0, 0
+		for i := 0; i < 6000; i++ {
+			a := isa.Instr{PC: 0x1000, Class: isa.ClassBranch, Taken: r.Bool(0.5), Target: 0x5000}
+			res := b.PredictAndTrain(a)
+			_ = res
+			dep := isa.Instr{PC: 0x1100, Class: isa.ClassBranch, Taken: last, Target: 0x6000}
+			res = b.PredictAndTrain(dep)
+			if i > 3000 {
+				total++
+				if res.CorrectPath {
+					correct++
+				}
+			}
+			last = a.Taken
+		}
+		return float64(correct) / float64(total)
+	}
+	tageAcc, tourAcc := mk(true), mk(false)
+	// Both see history; TAGE must be at least competitive and both should
+	// learn the correlation far beyond the 50% floor.
+	if tageAcc < 0.9 {
+		t.Fatalf("TAGE correlated accuracy %v", tageAcc)
+	}
+	if tageAcc+0.02 < tourAcc {
+		t.Fatalf("TAGE (%v) should not trail the tournament (%v) on correlated history", tageAcc, tourAcc)
+	}
+}
+
+func TestBPUUseTAGEConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseTAGE = true
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.tage == nil {
+		t.Fatal("TAGE not attached")
+	}
+	// Bad TAGE config is rejected through the BPU config path.
+	cfg.TAGE = TAGEConfig{NumTables: -1}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("accepted bad TAGE config")
+	}
+}
+
+func TestTAGEAllocationOnMispredict(t *testing.T) {
+	tg := newTAGE(t)
+	// Drive mispredicts; allocations should appear in tagged components.
+	r := xrand.New(7)
+	for i := 0; i < 2000; i++ {
+		pc := isa.Addr(0x1000 + uint64(r.Intn(16))*4)
+		taken := r.Bool(0.5)
+		tg.Predict(pc)
+		tg.Train(pc, taken)
+	}
+	allocated := 0
+	for c := range tg.comps {
+		for i := range tg.comps[c] {
+			if tg.comps[c][i].tag != 0 || tg.comps[c][i].ctr != 0 {
+				allocated++
+			}
+		}
+	}
+	if allocated == 0 {
+		t.Fatal("no tagged entries allocated under mispredictions")
+	}
+}

@@ -1,0 +1,402 @@
+// Package cache implements the memory-side substrate: set-associative cache
+// levels with pluggable replacement, in-flight-fill (MSHR-style) merging,
+// prefetch fills, a bandwidth-limited DRAM model, and the multi-level
+// hierarchy (L1-I, L1-D, unified L2, LLC, DRAM) from the paper's Table I.
+//
+// Timing model: an access at cycle `now` returns the cycle at which the
+// requested line is available at the accessed level. Hits cost the level's
+// hit latency; misses recurse into the next level and fill on return. A
+// line whose fill is still in flight merges subsequent requests into the
+// outstanding fill (this is what lets a deep FTQ alias many fetches to one
+// L1-I access, the paper's §V-B effect).
+package cache
+
+import (
+	"fmt"
+
+	"frontsim/internal/isa"
+	"frontsim/internal/xrand"
+)
+
+// Cycle is a simulation timestamp in core clock cycles.
+type Cycle = int64
+
+// AccessKind distinguishes demand from prefetch traffic for statistics.
+type AccessKind uint8
+
+const (
+	// Demand is a fetch or load/store the core is waiting on.
+	Demand AccessKind = iota
+	// Prefetch is a speculative fill (hardware or software initiated).
+	Prefetch
+)
+
+// ReplKind selects a replacement policy.
+type ReplKind uint8
+
+const (
+	// ReplLRU is least-recently-used.
+	ReplLRU ReplKind = iota
+	// ReplSRRIP is 2-bit static re-reference interval prediction.
+	ReplSRRIP
+	// ReplRandom evicts a uniformly random way (ablation baseline).
+	ReplRandom
+)
+
+// String names the policy.
+func (k ReplKind) String() string {
+	switch k {
+	case ReplLRU:
+		return "lru"
+	case ReplSRRIP:
+		return "srrip"
+	case ReplRandom:
+		return "random"
+	}
+	return fmt.Sprintf("repl(%d)", uint8(k))
+}
+
+// LevelConfig sizes one cache level.
+type LevelConfig struct {
+	Name string
+	// SizeBytes and Ways determine the set count (SizeBytes / LineSize /
+	// Ways), which must come out a power of two.
+	SizeBytes int
+	Ways      int
+	// HitLatency is the cycles from access to data at this level.
+	HitLatency Cycle
+	Repl       ReplKind
+}
+
+// Sets returns the number of sets implied by the config.
+func (c LevelConfig) Sets() int { return c.SizeBytes / isa.LineSize / c.Ways }
+
+// Validate checks the configuration is realizable.
+func (c LevelConfig) Validate() error {
+	if c.Ways <= 0 || c.SizeBytes <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d is not a positive power of two", c.Name, sets)
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("cache %s: negative latency", c.Name)
+	}
+	return nil
+}
+
+// Stats counts one level's traffic.
+type Stats struct {
+	Accesses       int64 // demand accesses
+	Hits           int64 // demand hits (including hits on in-flight fills)
+	Misses         int64 // demand misses
+	MergedInflight int64 // demand accesses merged into an outstanding fill
+	PrefetchReqs   int64 // prefetch accesses
+	PrefetchFills  int64 // lines filled by prefetch
+	PrefetchHits   int64 // demand hits on prefetched, not-yet-used lines
+	Evictions      int64
+	// PrefetchEvictedUnused counts prefetched lines evicted before any
+	// demand touched them — the pollution component of prefetch cost.
+	PrefetchEvictedUnused int64
+}
+
+// PrefetchAccuracy returns the fraction of prefetched lines that saw a
+// demand hit before eviction (0 when no prefetch resolved yet).
+func (s *Stats) PrefetchAccuracy() float64 {
+	resolved := s.PrefetchHits + s.PrefetchEvictedUnused
+	if resolved == 0 {
+		return 0
+	}
+	return float64(s.PrefetchHits) / float64(resolved)
+}
+
+// HitRate returns demand hit rate.
+func (s *Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	tag      uint64
+	valid    bool
+	ready    Cycle // fill completion; line usable for hits at/after this
+	prefetch bool  // filled by a prefetch and not yet demanded
+	lru      uint64
+	rrpv     uint8
+}
+
+// Backend is anything a Level can miss to.
+type Backend interface {
+	// Access requests lineAddr at cycle now and returns availability time.
+	Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle
+}
+
+// Level is one set-associative cache level.
+type Level struct {
+	cfg    LevelConfig
+	sets   int
+	shift  uint
+	mask   uint64
+	lines  []line // sets*ways, row-major
+	lruClk uint64
+	next   Backend
+	rng    *xrand.Rand
+	stats  Stats
+}
+
+// NewLevel builds a level whose misses go to next.
+func NewLevel(cfg LevelConfig, next Backend) (*Level, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, fmt.Errorf("cache %s: nil backend", cfg.Name)
+	}
+	sets := cfg.Sets()
+	shift := uint(0)
+	for 1<<shift < isa.LineSize {
+		shift++
+	}
+	l := &Level{
+		cfg:   cfg,
+		sets:  sets,
+		shift: shift,
+		mask:  uint64(sets - 1),
+		lines: make([]line, sets*cfg.Ways),
+		next:  next,
+		rng:   xrand.New(0xcafe ^ uint64(len(cfg.Name))),
+	}
+	return l, nil
+}
+
+// Config returns the level's configuration.
+func (l *Level) Config() LevelConfig { return l.cfg }
+
+// Stats returns a snapshot of the level's counters.
+func (l *Level) Stats() Stats { return l.stats }
+
+// ResetStats zeroes the counters (used to exclude warmup).
+func (l *Level) ResetStats() { l.stats = Stats{} }
+
+func (l *Level) setIndex(lineAddr isa.Addr) int {
+	return int((uint64(lineAddr) >> l.shift) & l.mask)
+}
+
+func (l *Level) tagOf(lineAddr isa.Addr) uint64 {
+	return uint64(lineAddr) >> l.shift / uint64(l.sets)
+}
+
+func (l *Level) setSlice(set int) []line {
+	return l.lines[set*l.cfg.Ways : (set+1)*l.cfg.Ways]
+}
+
+// Access implements Backend. lineAddr must be line-aligned.
+func (l *Level) Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle {
+	lineAddr = lineAddr.Line()
+	set := l.setIndex(lineAddr)
+	tag := l.tagOf(lineAddr)
+	ways := l.setSlice(set)
+
+	if kind == Demand {
+		l.stats.Accesses++
+	} else {
+		l.stats.PrefetchReqs++
+	}
+
+	for i := range ways {
+		w := &ways[i]
+		if !w.valid || w.tag != tag {
+			continue
+		}
+		// Present (possibly still in flight).
+		if kind == Demand {
+			l.stats.Hits++
+			if w.prefetch {
+				l.stats.PrefetchHits++
+				w.prefetch = false
+			}
+			if w.ready > now {
+				l.stats.MergedInflight++
+			}
+		}
+		l.touch(w)
+		if w.ready > now {
+			return w.ready
+		}
+		return now + l.cfg.HitLatency
+	}
+
+	// Miss: fetch from below, fill now with a future ready time (the line
+	// entry doubles as the MSHR; later requests merge on it).
+	if kind == Demand {
+		l.stats.Misses++
+	}
+	ready := l.next.Access(lineAddr, now+l.cfg.HitLatency, kind)
+	v := l.victim(ways)
+	if v.valid {
+		l.stats.Evictions++
+		if v.prefetch {
+			l.stats.PrefetchEvictedUnused++
+		}
+	}
+	*v = line{tag: tag, valid: true, ready: ready, prefetch: kind == Prefetch}
+	if kind == Prefetch {
+		l.stats.PrefetchFills++
+	}
+	l.fill(v)
+	return ready
+}
+
+// Probe reports whether the line is present (even in flight) without any
+// side effects. Used by hardware prefetchers to filter redundant requests
+// and by tests.
+func (l *Level) Probe(lineAddr isa.Addr) bool {
+	lineAddr = lineAddr.Line()
+	set := l.setIndex(lineAddr)
+	tag := l.tagOf(lineAddr)
+	for _, w := range l.setSlice(set) {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Ready returns the availability cycle of the line if present.
+func (l *Level) Ready(lineAddr isa.Addr) (Cycle, bool) {
+	lineAddr = lineAddr.Line()
+	set := l.setIndex(lineAddr)
+	tag := l.tagOf(lineAddr)
+	for i := range l.setSlice(set) {
+		w := &l.setSlice(set)[i]
+		if w.valid && w.tag == tag {
+			return w.ready, true
+		}
+	}
+	return 0, false
+}
+
+func (l *Level) touch(w *line) {
+	switch l.cfg.Repl {
+	case ReplLRU, ReplRandom:
+		l.lruClk++
+		w.lru = l.lruClk
+	case ReplSRRIP:
+		w.rrpv = 0
+	}
+}
+
+func (l *Level) fill(w *line) {
+	switch l.cfg.Repl {
+	case ReplLRU, ReplRandom:
+		l.lruClk++
+		w.lru = l.lruClk
+	case ReplSRRIP:
+		w.rrpv = 2 // long re-reference interval on insertion
+	}
+}
+
+func (l *Level) victim(ways []line) *line {
+	// Prefer an invalid way.
+	for i := range ways {
+		if !ways[i].valid {
+			return &ways[i]
+		}
+	}
+	switch l.cfg.Repl {
+	case ReplRandom:
+		return &ways[l.rng.Intn(len(ways))]
+	case ReplSRRIP:
+		for {
+			for i := range ways {
+				if ways[i].rrpv >= 3 {
+					return &ways[i]
+				}
+			}
+			for i := range ways {
+				if ways[i].rrpv < 3 {
+					ways[i].rrpv++
+				}
+			}
+		}
+	default: // LRU
+		v := &ways[0]
+		for i := 1; i < len(ways); i++ {
+			if ways[i].lru < v.lru {
+				v = &ways[i]
+			}
+		}
+		return v
+	}
+}
+
+// Flush invalidates every line (used between experiment phases).
+func (l *Level) Flush() {
+	for i := range l.lines {
+		l.lines[i] = line{}
+	}
+}
+
+// DRAMConfig models main memory timing.
+type DRAMConfig struct {
+	// Latency is the unloaded access latency in core cycles.
+	Latency Cycle
+	// BusCycles is the channel occupancy per line transfer; back-to-back
+	// requests queue behind each other at this rate.
+	BusCycles Cycle
+	// Channels is the number of independent channels.
+	Channels int
+}
+
+// Validate checks the DRAM parameters.
+func (c DRAMConfig) Validate() error {
+	if c.Latency <= 0 || c.BusCycles <= 0 || c.Channels <= 0 {
+		return fmt.Errorf("dram: non-positive parameter %+v", c)
+	}
+	return nil
+}
+
+// DRAM is the bottom of the hierarchy: fixed latency plus a per-channel
+// bandwidth queue.
+type DRAM struct {
+	cfg      DRAMConfig
+	nextFree []Cycle
+	accesses int64
+	busy     int64 // cycles requests spent queued (congestion measure)
+}
+
+// NewDRAM builds the memory model.
+func NewDRAM(cfg DRAMConfig) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &DRAM{cfg: cfg, nextFree: make([]Cycle, cfg.Channels)}, nil
+}
+
+// Access implements Backend.
+func (d *DRAM) Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle {
+	ch := int(lineAddr.LineIndex()) % d.cfg.Channels
+	start := now
+	if d.nextFree[ch] > start {
+		d.busy += int64(d.nextFree[ch] - start)
+		start = d.nextFree[ch]
+	}
+	d.nextFree[ch] = start + d.cfg.BusCycles
+	d.accesses++
+	return start + d.cfg.Latency
+}
+
+// Config returns the DRAM parameters.
+func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+// Accesses returns the total number of DRAM requests.
+func (d *DRAM) Accesses() int64 { return d.accesses }
+
+// QueueingCycles returns total cycles requests waited for a channel.
+func (d *DRAM) QueueingCycles() int64 { return d.busy }
+
+// ResetStats zeroes the DRAM counters (channel state is retained).
+func (d *DRAM) ResetStats() { d.accesses = 0; d.busy = 0 }

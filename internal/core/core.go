@@ -1,0 +1,258 @@
+// Package core assembles the whole simulated machine — decoupled FDP
+// front-end, simplified OoO back-end, and the cache hierarchy — and runs
+// trace-driven simulations with warmup handling, producing the full
+// statistics snapshot behind every figure in the paper.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"frontsim/internal/backend"
+	"frontsim/internal/bpu"
+	"frontsim/internal/cache"
+	"frontsim/internal/frontend"
+	"frontsim/internal/ftq"
+	"frontsim/internal/isa"
+	"frontsim/internal/trace"
+)
+
+// Config is the whole-machine configuration (the paper's Table I).
+type Config struct {
+	Name     string
+	Frontend frontend.Config
+	Backend  backend.Config
+	Memory   cache.HierarchyConfig
+	// DecodeWidth caps instructions moved from the FTQ to the back-end per
+	// cycle.
+	DecodeWidth int
+	// WarmupInstrs are program instructions executed before statistics
+	// reset.
+	WarmupInstrs int64
+	// MaxInstrs are program (non-prefetch) instructions measured after
+	// warmup; the run ends when they retire or the source ends.
+	MaxInstrs int64
+	// Triggers optionally maps trigger PCs to prefetch targets for the
+	// no-insertion-overhead software prefetching mode.
+	Triggers map[isa.Addr][]isa.Addr
+}
+
+// DefaultConfig returns the Table I machine with the industry-standard
+// (24-entry FTQ) front-end.
+func DefaultConfig() Config {
+	return Config{
+		Name:         "fdp24",
+		Frontend:     frontend.DefaultConfig(),
+		Backend:      backend.DefaultConfig(),
+		Memory:       cache.DefaultHierarchyConfig(),
+		DecodeWidth:  6,
+		WarmupInstrs: 200_000,
+		MaxInstrs:    2_000_000,
+	}
+}
+
+// ConservativeConfig returns the Table I machine with the conservative
+// 2-entry FTQ front-end.
+func ConservativeConfig() Config {
+	c := DefaultConfig()
+	c.Name = "conservative"
+	c.Frontend = frontend.ConservativeConfig()
+	return c
+}
+
+// Validate checks every component configuration.
+func (c Config) Validate() error {
+	if c.DecodeWidth <= 0 {
+		return fmt.Errorf("core: DecodeWidth %d", c.DecodeWidth)
+	}
+	if c.WarmupInstrs < 0 || c.MaxInstrs <= 0 {
+		return fmt.Errorf("core: instruction budget warmup=%d max=%d", c.WarmupInstrs, c.MaxInstrs)
+	}
+	if err := c.Frontend.Validate(); err != nil {
+		return err
+	}
+	if err := c.Backend.Validate(); err != nil {
+		return err
+	}
+	return c.Memory.Validate()
+}
+
+// Stats is the post-run statistics snapshot (warmup excluded).
+type Stats struct {
+	Config string
+
+	Cycles int64
+	// Instructions counts retired program instructions; software
+	// prefetches are reported separately and excluded from IPC, matching
+	// the paper's accounting.
+	Instructions     int64
+	SwPrefetchInstrs int64
+
+	FTQ      ftq.Stats
+	Frontend frontend.Stats
+	BPU      bpu.Stats
+	Backend  backend.Stats
+
+	L1I cache.Stats
+	L1D cache.Stats
+	L2  cache.Stats
+	LLC cache.Stats
+
+	DRAMAccesses int64
+	DRAMQueueing int64
+}
+
+// IPC returns retired program instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// L1IMPKI returns L1-I demand misses per thousand program instructions.
+func (s *Stats) L1IMPKI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.L1I.Misses) / float64(s.Instructions) * 1000
+}
+
+// DynamicBloat returns the fraction of extra fetched instructions due to
+// software prefetches (Fig. 7b's metric).
+func (s *Stats) DynamicBloat() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.SwPrefetchInstrs) / float64(s.Instructions)
+}
+
+// Sim is one simulation instance.
+type Sim struct {
+	cfg Config
+	fe  *frontend.Frontend
+	be  *backend.Backend
+	mem *cache.Hierarchy
+
+	now      cache.Cycle
+	buf      []isa.Instr
+	measured bool
+	startCyc cache.Cycle
+}
+
+// New builds a simulator over the given true-path source.
+func New(cfg Config, src trace.Source) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mem, err := cache.NewHierarchy(cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg, mem: mem, buf: make([]isa.Instr, 0, cfg.DecodeWidth)}
+	fe, err := frontend.New(cfg.Frontend, src, mem, cfg.Triggers)
+	if err != nil {
+		return nil, err
+	}
+	be, err := backend.New(cfg.Backend, mem, fe)
+	if err != nil {
+		return nil, err
+	}
+	s.fe = fe
+	s.be = be
+	return s, nil
+}
+
+// Hierarchy exposes the memory system (examples and tests).
+func (s *Sim) Hierarchy() *cache.Hierarchy { return s.mem }
+
+// Frontend exposes the front-end (examples and tests).
+func (s *Sim) Frontend() *frontend.Frontend { return s.fe }
+
+// Run simulates until MaxInstrs program instructions retire after warmup,
+// or the source drains. It returns the measured statistics.
+func (s *Sim) Run() (Stats, error) {
+	const idleLimit = 1_000_000 // cycles without retirement => wedged
+	idle := cache.Cycle(0)
+	for {
+		if !s.measured && s.be.Stats().RetiredProgram >= s.cfg.WarmupInstrs {
+			s.beginMeasurement()
+		}
+		if s.measured && s.be.Stats().RetiredProgram >= s.cfg.MaxInstrs {
+			break
+		}
+		if s.fe.Done() && s.be.Drained() {
+			break
+		}
+
+		s.fe.Cycle(s.now)
+		budget := s.be.DispatchBudget()
+		if budget > s.cfg.DecodeWidth {
+			budget = s.cfg.DecodeWidth
+		}
+		if budget > 0 {
+			s.buf = s.fe.Dequeue(s.now, budget, s.buf[:0])
+			if len(s.buf) > 0 {
+				s.be.Dispatch(s.buf, s.now)
+			}
+		}
+		retired := s.be.Retire(s.now)
+		s.now++
+
+		if retired == 0 {
+			idle++
+			if idle > idleLimit {
+				return Stats{}, fmt.Errorf("core: no retirement for %d cycles at cycle %d (wedged pipeline)", idleLimit, s.now)
+			}
+		} else {
+			idle = 0
+		}
+	}
+	if err := s.fe.Err(); err != nil && !errors.Is(err, trace.ErrEnd) {
+		return Stats{}, fmt.Errorf("core: source failed: %w", err)
+	}
+	if !s.measured {
+		// The source ended during warmup; measure what we have.
+		s.startCyc = 0
+	}
+	return s.snapshot(), nil
+}
+
+// beginMeasurement resets all statistics at the warmup boundary, keeping
+// microarchitectural state (caches, predictors) warm.
+func (s *Sim) beginMeasurement() {
+	s.measured = true
+	s.startCyc = s.now
+	s.fe.ResetStats()
+	s.be.ResetStats()
+	s.mem.ResetStats()
+}
+
+func (s *Sim) snapshot() Stats {
+	be := s.be.Stats()
+	return Stats{
+		Config:           s.cfg.Name,
+		Cycles:           int64(s.now - s.startCyc),
+		Instructions:     be.RetiredProgram,
+		SwPrefetchInstrs: be.RetiredSwPf,
+		FTQ:              s.fe.FTQ().Stats(),
+		Frontend:         s.fe.Stats(),
+		BPU:              s.fe.BPU().Stats(),
+		Backend:          be,
+		L1I:              s.mem.L1I.Stats(),
+		L1D:              s.mem.L1D.Stats(),
+		L2:               s.mem.L2.Stats(),
+		LLC:              s.mem.LLC.Stats(),
+		DRAMAccesses:     s.mem.DRAM.Accesses(),
+		DRAMQueueing:     s.mem.DRAM.QueueingCycles(),
+	}
+}
+
+// RunSource is a convenience: build a Sim over src and run it.
+func RunSource(cfg Config, src trace.Source) (Stats, error) {
+	s, err := New(cfg, src)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Run()
+}

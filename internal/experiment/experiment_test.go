@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"frontsim/internal/workload"
+)
+
+// tinyParams keeps integration runs fast.
+func tinyParams() Params {
+	p := DefaultParams()
+	p.WarmupInstrs = 100_000
+	p.MeasureInstrs = 250_000
+	p.ProfileInstrs = 300_000
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.MeasureInstrs = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted zero measure")
+	}
+	p = DefaultParams()
+	p.AsmDB.Window = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted bad asmdb options")
+	}
+}
+
+func runOne(t *testing.T) *Matrix {
+	t.Helper()
+	spec, _ := workload.Lookup("public_srv_60")
+	m, err := RunMatrix(spec, 1, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunMatrixProducesAllSeries(t *testing.T) {
+	m := runOne(t)
+	for name, st := range map[string]float64{
+		"cons":        m.Cons.IPC(),
+		"asmdb":       m.AsmdbCons.IPC(),
+		"asmdb-ideal": m.AsmdbConsIdeal.IPC(),
+		"fdp":         m.FDP.IPC(),
+		"asmdb+fdp":   m.AsmdbFDP.IPC(),
+		"ideal+fdp":   m.AsmdbFDPIdeal.IPC(),
+		"eip+fdp":     m.EIPFDP.IPC(),
+	} {
+		if st <= 0 {
+			t.Errorf("series %s has IPC %v", name, st)
+		}
+	}
+	if m.Plan == nil || len(m.Plan.Insertions) == 0 {
+		t.Fatal("no AsmDB plan")
+	}
+	if m.StaticBloat <= 0 {
+		t.Fatal("no static bloat")
+	}
+	// Paper-shape invariants on a server workload, even at tiny scale:
+	// the deep FTQ beats the conservative baseline, and the inserted
+	// prefetches show up as dynamic bloat only in the overhead runs.
+	if m.Speedup(m.FDP) <= 1.0 {
+		t.Fatalf("FDP speedup %v", m.Speedup(m.FDP))
+	}
+	if m.AsmdbFDP.DynamicBloat() <= 0 {
+		t.Fatal("overhead run has no dynamic bloat")
+	}
+	if m.AsmdbFDPIdeal.DynamicBloat() != 0 {
+		t.Fatal("ideal run has dynamic bloat")
+	}
+}
+
+func TestFigureTablesWellFormed(t *testing.T) {
+	m := runOne(t)
+	ms := []*Matrix{m}
+	figs := map[string]interface{ String() string }{
+		"fig1":      Figure1(ms),
+		"fig7":      Figure7(ms),
+		"fig8":      Figure8(ms),
+		"fig9":      Figure9(ms),
+		"fig10":     Figure10(ms),
+		"fig11":     Figure11(ms),
+		"meth":      Methodology(ms),
+		"tab1":      TableI(),
+		"headstall": HeadStallBreakdown(ms),
+	}
+	for name, f := range figs {
+		s := f.String()
+		if s == "" {
+			t.Errorf("%s renders empty", name)
+		}
+		if name != "tab1" && !strings.Contains(s, "public_srv_60") {
+			t.Errorf("%s missing workload row:\n%s", name, s)
+		}
+	}
+	// Figure 1 has a geomean row; with one workload it equals the row.
+	f1 := Figure1(ms)
+	last := f1.Rows[len(f1.Rows)-1]
+	if last[1] != "geomean" {
+		t.Fatalf("last row %v", last)
+	}
+}
+
+func TestRunSuiteParallelMatchesOrder(t *testing.T) {
+	specs := workload.All()[:3]
+	p := tinyParams()
+	p.Parallelism = 3
+	var lines []string
+	ms, err := RunSuite(specs, p, func(s string) { lines = append(lines, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("matrices = %d", len(ms))
+	}
+	for i, m := range ms {
+		if m.Spec.Name != specs[i].Name || m.Index != i+1 {
+			t.Fatalf("order broken at %d: %s", i, m.Spec.Name)
+		}
+	}
+	if len(lines) != 3 {
+		t.Fatalf("progress lines = %d", len(lines))
+	}
+}
+
+func TestRunSuiteDeterminismAcrossParallelism(t *testing.T) {
+	specs := workload.All()[:2]
+	p := tinyParams()
+	p.Parallelism = 1
+	a, err := RunSuite(specs, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Parallelism = 2
+	b, err := RunSuite(specs, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Cons.Cycles != b[i].Cons.Cycles || a[i].AsmdbFDP.Cycles != b[i].AsmdbFDP.Cycles {
+			t.Fatalf("parallelism changed results for %s", a[i].Spec.Name)
+		}
+	}
+}
+
+func TestAblationFTQDepth(t *testing.T) {
+	specs := workload.All()[:1]
+	tab, err := AblationFTQDepth(specs, []int{2, 24}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // workload + geomean
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "1.000" {
+		t.Fatalf("depth-2 column must be the baseline: %v", tab.Rows[0])
+	}
+}
+
+func TestAblationFrontend(t *testing.T) {
+	specs := workload.All()[:1]
+	tab, err := AblationFrontend(specs, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 5 {
+		t.Fatalf("columns = %d", len(tab.Columns))
+	}
+}
+
+func TestAblationFanout(t *testing.T) {
+	specs := workload.All()[:1]
+	tab, err := AblationFanout(specs, []float64{0.3, 0.7}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Columns) != 5 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+}

@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"fmt"
+
+	"frontsim/internal/asmdb"
+	"frontsim/internal/cfg"
+	"frontsim/internal/core"
+	"frontsim/internal/feedback"
+	"frontsim/internal/ispy"
+	"frontsim/internal/preload"
+	"frontsim/internal/program"
+	"frontsim/internal/stats"
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+)
+
+// pipeline holds the shared per-workload AsmDB artifacts the extension
+// experiments reuse.
+type pipeline struct {
+	spec  workload.Spec
+	prog  *program.Program
+	graph *cfg.Graph
+	plan  *asmdb.Plan
+	seed  uint64
+}
+
+func buildPipeline(spec workload.Spec, p Params) (*pipeline, error) {
+	prog, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	seed := spec.Seed ^ p.ExecSeedSalt
+	baseCfg := core.ConservativeConfig()
+	baseCfg.WarmupInstrs, baseCfg.MaxInstrs = p.WarmupInstrs/2+1, p.MeasureInstrs/2+1
+	base, err := core.RunSource(baseCfg, program.NewExecutor(prog, seed))
+	if err != nil {
+		return nil, err
+	}
+	graph, err := cfg.Profile(trace.NewLimit(program.NewExecutor(prog, seed), p.ProfileInstrs), cfg.Options{IPC: base.IPC()})
+	if err != nil {
+		return nil, err
+	}
+	plan, err := asmdb.Build(graph, p.AsmDB)
+	if err != nil {
+		return nil, err
+	}
+	return &pipeline{spec: spec, prog: prog, graph: graph, plan: plan, seed: seed}, nil
+}
+
+func (pl *pipeline) run(c core.Config, prog *program.Program, p Params) (core.Stats, error) {
+	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+	return core.RunSource(c, program.NewExecutor(prog, pl.seed))
+}
+
+// ExtensionPreload compares the §VI metadata-preloading prototype against
+// plain FDP and inserted-instruction AsmDB on the industry front-end.
+func ExtensionPreload(specs []workload.Spec, p Params) (*stats.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		"Extension X1: metadata preloading on FDP-24 (IPC speedup over FDP-24)",
+		"workload", "asmdb-inserted", "preload", "preload-mdmiss%", "store-entries")
+	for _, spec := range specs {
+		pl, err := buildPipeline(spec, p)
+		if err != nil {
+			return nil, err
+		}
+		fdp, err := pl.run(core.DefaultConfig(), pl.prog, p)
+		if err != nil {
+			return nil, err
+		}
+		rewritten, _, err := asmdb.Apply(pl.prog, pl.plan)
+		if err != nil {
+			return nil, err
+		}
+		inserted, err := pl.run(core.DefaultConfig(), rewritten, p)
+		if err != nil {
+			return nil, err
+		}
+		loader, err := preload.New(preload.DefaultConfig(), pl.plan)
+		if err != nil {
+			return nil, err
+		}
+		c := core.DefaultConfig()
+		c.Frontend.Prefetcher = loader
+		pre, err := pl.run(c, pl.prog, p)
+		if err != nil {
+			return nil, err
+		}
+		ls := loader.Stats()
+		missPct := 0.0
+		if ls.Lookups > 0 {
+			missPct = 100 * float64(ls.MetadataMisses) / float64(ls.Lookups)
+		}
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%.3f", ratio(inserted.IPC(), fdp.IPC())),
+			fmt.Sprintf("%.3f", ratio(pre.IPC(), fdp.IPC())),
+			fmt.Sprintf("%.2f", missPct),
+			fmt.Sprint(loader.StoreEntries()))
+	}
+	return t, nil
+}
+
+// ExtensionISpy compares I-SPY's coalesced/conditional prefetching against
+// AsmDB on the industry front-end (both in trigger form, isolating the
+// targeting policies from insertion overhead).
+func ExtensionISpy(specs []workload.Spec, p Params) (*stats.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		"Extension X3: I-SPY vs AsmDB triggers on FDP-24 (IPC speedup over FDP-24)",
+		"workload", "asmdb", "ispy", "coalesce-savings%", "conditionals")
+	for _, spec := range specs {
+		pl, err := buildPipeline(spec, p)
+		if err != nil {
+			return nil, err
+		}
+		fdp, err := pl.run(core.DefaultConfig(), pl.prog, p)
+		if err != nil {
+			return nil, err
+		}
+		c := core.DefaultConfig()
+		c.Triggers = asmdb.Triggers(pl.prog, pl.plan)
+		asm, err := pl.run(c, pl.prog, p)
+		if err != nil {
+			return nil, err
+		}
+		iplan, err := ispy.Transform(pl.plan, ispy.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		c = core.DefaultConfig()
+		c.Triggers = iplan.Triggers(nil)
+		isp, err := pl.run(c, pl.prog, p)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%.3f", ratio(asm.IPC(), fdp.IPC())),
+			fmt.Sprintf("%.3f", ratio(isp.IPC(), fdp.IPC())),
+			fmt.Sprintf("%.1f", 100*iplan.CoalescingSavings()),
+			fmt.Sprint(iplan.Conditionals))
+	}
+	return t, nil
+}
+
+// ExtensionFeedback runs the §VI feedback-directed tuning loop per
+// workload and reports the chosen operating point.
+func ExtensionFeedback(specs []workload.Spec, p Params) (*stats.Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		"Extension X2: feedback-directed software prefetching on FDP-24",
+		"workload", "baseline-ipc", "best-ipc", "speedup", "chosen-fanout", "chosen-sites", "insertions")
+	for _, spec := range specs {
+		pl, err := buildPipeline(spec, p)
+		if err != nil {
+			return nil, err
+		}
+		eval := core.DefaultConfig()
+		eval.WarmupInstrs, eval.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+		opts := feedback.DefaultOptions(eval, pl.seed)
+		res, err := feedback.Tune(pl.prog, pl.graph, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%.3f", res.BaselineIPC),
+			fmt.Sprintf("%.3f", res.Best.IPC),
+			fmt.Sprintf("%.3f", res.Best.Speedup),
+			fmt.Sprintf("%.2f", res.Best.Fanout),
+			fmt.Sprint(res.Best.SitesPerTarget),
+			fmt.Sprint(res.Best.Insertions))
+	}
+	return t, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"frontsim/internal/workload"
+)
+
+func extSpecs() []workload.Spec {
+	s, _ := workload.Lookup("secret_crypto52")
+	return []workload.Spec{s}
+}
+
+func TestExtensionPreloadTable(t *testing.T) {
+	tab, err := ExtensionPreload(extSpecs(), tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "secret_crypto52") {
+		t.Fatal("workload row missing")
+	}
+}
+
+func TestExtensionISpyTable(t *testing.T) {
+	tab, err := ExtensionISpy(extSpecs(), tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Columns) != 5 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+}
+
+func TestExtensionFeedbackTable(t *testing.T) {
+	tab, err := ExtensionFeedback(extSpecs(), tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationWrongPathTable(t *testing.T) {
+	tab, err := AblationWrongPath(extSpecs(), []int{0, 4}, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 5 {
+		t.Fatalf("columns = %d", len(tab.Columns))
+	}
+}
+
+func TestAblationReplacementTable(t *testing.T) {
+	tab, err := AblationReplacement(extSpecs(), tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Columns) != 7 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+}
+
+func TestAblationPredictorTable(t *testing.T) {
+	tab, err := AblationPredictor(extSpecs(), tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // workload + geomean
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

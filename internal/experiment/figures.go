@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"fmt"
+
+	"frontsim/internal/cache"
+	"frontsim/internal/core"
+	"frontsim/internal/ftq"
+	"frontsim/internal/stats"
+)
+
+// column extracts one series across matrices.
+func column(ms []*Matrix, f func(*Matrix) float64) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		out[i] = f(m)
+	}
+	return out
+}
+
+// Figure1 reproduces the headline comparison: per-workload IPC normalized
+// to the conservative 2-entry-FTQ baseline for every series, with the
+// geometric mean in the final row.
+func Figure1(ms []*Matrix) *stats.Table {
+	t := stats.NewTable(
+		"Figure 1: performance over a conservative front-end with a 2-entry FTQ (IPC speedup)",
+		"#", "workload", "asmdb", "asmdb-ideal", "fdp24", "asmdb+fdp24", "asmdb-ideal+fdp24", "eip+fdp24",
+	)
+	series := []func(*Matrix) float64{
+		func(m *Matrix) float64 { return m.Speedup(m.AsmdbCons) },
+		func(m *Matrix) float64 { return m.Speedup(m.AsmdbConsIdeal) },
+		func(m *Matrix) float64 { return m.Speedup(m.FDP) },
+		func(m *Matrix) float64 { return m.Speedup(m.AsmdbFDP) },
+		func(m *Matrix) float64 { return m.Speedup(m.AsmdbFDPIdeal) },
+		func(m *Matrix) float64 { return m.Speedup(m.EIPFDP) },
+	}
+	for _, m := range ms {
+		cells := []interface{}{fmt.Sprint(m.Index), m.Spec.Name}
+		for _, f := range series {
+			cells = append(cells, f(m))
+		}
+		t.AddRowf(cells...)
+	}
+	gm := []interface{}{"", "geomean"}
+	for _, f := range series {
+		gm = append(gm, stats.Geomean(column(ms, f)))
+	}
+	t.AddRowf(gm...)
+	return t
+}
+
+// Figure7 reports static (7a) and dynamic (7b) code bloat percentages.
+func Figure7(ms []*Matrix) *stats.Table {
+	t := stats.NewTable(
+		"Figure 7: AsmDB code bloat (percent)",
+		"#", "workload", "static%", "dynamic%",
+	)
+	for _, m := range ms {
+		t.AddRow(fmt.Sprint(m.Index), m.Spec.Name,
+			fmt.Sprintf("%.2f", 100*m.StaticBloat),
+			fmt.Sprintf("%.2f", 100*m.AsmdbFDP.DynamicBloat()))
+	}
+	t.AddRow("", "average",
+		fmt.Sprintf("%.2f", 100*stats.Mean(column(ms, func(m *Matrix) float64 { return m.StaticBloat }))),
+		fmt.Sprintf("%.2f", 100*stats.Mean(column(ms, func(m *Matrix) float64 { return m.AsmdbFDP.DynamicBloat() }))))
+	return t
+}
+
+// Figure8 reports average cycles to fetch a head entry vs a non-head entry
+// for the 24-entry and 2-entry FDP baselines (panels a-d of the paper).
+func Figure8(ms []*Matrix) *stats.Table {
+	t := stats.NewTable(
+		"Figure 8: average cycles to fetch FTQ entries (head = stalled at head; non-head = covered)",
+		"#", "workload", "head@24", "head@2", "nonhead@24", "nonhead@2",
+	)
+	for _, m := range ms {
+		t.AddRow(fmt.Sprint(m.Index), m.Spec.Name,
+			fmt.Sprintf("%.1f", m.FDP.FTQ.AvgHeadFetch()),
+			fmt.Sprintf("%.1f", m.Cons.FTQ.AvgHeadFetch()),
+			fmt.Sprintf("%.1f", m.FDP.FTQ.AvgNonHeadFetch()),
+			fmt.Sprintf("%.1f", m.Cons.FTQ.AvgNonHeadFetch()))
+	}
+	t.AddRow("", "average",
+		fmt.Sprintf("%.1f", stats.Mean(column(ms, func(m *Matrix) float64 { return m.FDP.FTQ.AvgHeadFetch() }))),
+		fmt.Sprintf("%.1f", stats.Mean(column(ms, func(m *Matrix) float64 { return m.Cons.FTQ.AvgHeadFetch() }))),
+		fmt.Sprintf("%.1f", stats.Mean(column(ms, func(m *Matrix) float64 { return m.FDP.FTQ.AvgNonHeadFetch() }))),
+		fmt.Sprintf("%.1f", stats.Mean(column(ms, func(m *Matrix) float64 { return m.Cons.FTQ.AvgNonHeadFetch() }))))
+	return t
+}
+
+// HeadStallBreakdown supplements Figure 8/9: the distribution of
+// head-stall episode durations over the hierarchy's latency bands, showing
+// which memory level the stalling heads wait on at each FTQ depth.
+func HeadStallBreakdown(ms []*Matrix) *stats.Table {
+	bounds := ftq.HeadStallBuckets
+	cols := []string{"#", "workload", "depth"}
+	prev := cache.Cycle(0)
+	for _, b := range bounds {
+		cols = append(cols, fmt.Sprintf("%d-%dcyc", prev, b-1))
+		prev = b
+	}
+	cols = append(cols, fmt.Sprintf(">=%dcyc", prev))
+	t := stats.NewTable(
+		"Head-stall episode durations by latency band (share of episodes)",
+		cols...,
+	)
+	add := func(m *Matrix, label string, st core.Stats) {
+		hist := st.FTQ.HeadStallHist
+		var total int64
+		for _, c := range hist {
+			total += c
+		}
+		row := []string{fmt.Sprint(m.Index), m.Spec.Name, label}
+		for _, c := range hist {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(c) / float64(total)
+			}
+			row = append(row, fmt.Sprintf("%.1f%%", pct))
+		}
+		t.AddRow(row...)
+	}
+	for _, m := range ms {
+		add(m, "ftq2", m.Cons)
+		add(m, "ftq24", m.FDP)
+	}
+	return t
+}
+
+// perMillion scales a counter to events per million measured instructions
+// so series with different run lengths compare directly.
+func perMillion(st core.Stats, v int64) float64 {
+	if st.Instructions == 0 {
+		return 0
+	}
+	return float64(v) / float64(st.Instructions) * 1e6
+}
+
+// figureStall builds the Fig 9/10/11 family: one metric, both FTQ depths,
+// three series each (baseline, AsmDB, AsmDB without insertion overhead).
+func figureStall(ms []*Matrix, title string, metric func(core.Stats) int64) *stats.Table {
+	t := stats.NewTable(title,
+		"#", "workload",
+		"ftq2", "ftq2+asmdb", "ftq2+asmdb-ideal",
+		"ftq24", "ftq24+asmdb", "ftq24+asmdb-ideal",
+	)
+	get := func(st core.Stats) string {
+		return fmt.Sprintf("%.0f", perMillion(st, metric(st)))
+	}
+	for _, m := range ms {
+		t.AddRow(fmt.Sprint(m.Index), m.Spec.Name,
+			get(m.Cons), get(m.AsmdbCons), get(m.AsmdbConsIdeal),
+			get(m.FDP), get(m.AsmdbFDP), get(m.AsmdbFDPIdeal))
+	}
+	avg := func(f func(*Matrix) core.Stats) string {
+		return fmt.Sprintf("%.0f", stats.Mean(column(ms, func(m *Matrix) float64 {
+			st := f(m)
+			return perMillion(st, metric(st))
+		})))
+	}
+	t.AddRow("", "average",
+		avg(func(m *Matrix) core.Stats { return m.Cons }),
+		avg(func(m *Matrix) core.Stats { return m.AsmdbCons }),
+		avg(func(m *Matrix) core.Stats { return m.AsmdbConsIdeal }),
+		avg(func(m *Matrix) core.Stats { return m.FDP }),
+		avg(func(m *Matrix) core.Stats { return m.AsmdbFDP }),
+		avg(func(m *Matrix) core.Stats { return m.AsmdbFDPIdeal }))
+	return t
+}
+
+// Figure9 reports head-entry stall cycles (Scenario 2 exposure).
+func Figure9(ms []*Matrix) *stats.Table {
+	return figureStall(ms,
+		"Figure 9: stalls caused by head FTQ entries (stall cycles per million instructions)",
+		func(st core.Stats) int64 { return st.FTQ.HeadStallCycles })
+}
+
+// Figure10 reports entries waiting behind a stalling head.
+func Figure10(ms []*Matrix) *stats.Table {
+	return figureStall(ms,
+		"Figure 10: FTQ entries waiting on a stalling head (entry-cycles per million instructions)",
+		func(st core.Stats) int64 { return st.FTQ.WaitingEntryCycles })
+}
+
+// Figure11 reports entries promoted to head before completing fetch
+// (Scenario 3, shadow stalls).
+func Figure11(ms []*Matrix) *stats.Table {
+	return figureStall(ms,
+		"Figure 11: FTQ entries moving into the head position while still fetching (per million instructions)",
+		func(st core.Stats) int64 { return st.FTQ.PartialEntries })
+}
+
+// TableI renders the simulated machine parameters.
+func TableI() *stats.Table {
+	c := core.DefaultConfig()
+	t := stats.NewTable("Table I: simulation parameters", "component", "configuration")
+	t.AddRow("Core", fmt.Sprintf("%d-wide decode/dispatch, %d-wide retire, %d-entry ROB, %d-cycle pipeline",
+		c.DecodeWidth, c.Backend.RetireWidth, c.Backend.ROBSize, c.Backend.PipelineDepth))
+	t.AddRow("Front-end (industry)", fmt.Sprintf("FDP, %d-entry FTQ (basic blocks of up to 8 instrs), PFC, GHR filtering, %d-line wrong-path streaming", c.Frontend.FTQEntries, c.Frontend.WrongPathDepth))
+	t.AddRow("Front-end (conservative)", fmt.Sprintf("FDP, %d-entry FTQ", core.ConservativeConfig().Frontend.FTQEntries))
+	t.AddRow("Branch predictor", fmt.Sprintf("bimodal+gshare tournament (%d-bit GHR), %d-entry/%d-way BTB, %d-deep RAS, 2^%d indirect",
+		c.Frontend.BPU.GHRBits, c.Frontend.BPU.BTBEntries, c.Frontend.BPU.BTBWays, c.Frontend.BPU.RASDepth, c.Frontend.BPU.IndirectBits))
+	t.AddRow("L1-I", fmt.Sprintf("%d KiB, %d-way, %d-cycle", c.Memory.L1I.SizeBytes>>10, c.Memory.L1I.Ways, c.Memory.L1I.HitLatency))
+	t.AddRow("L1-D", fmt.Sprintf("%d KiB, %d-way, %d-cycle", c.Memory.L1D.SizeBytes>>10, c.Memory.L1D.Ways, c.Memory.L1D.HitLatency))
+	t.AddRow("L2", fmt.Sprintf("%d KiB, %d-way, %d-cycle", c.Memory.L2.SizeBytes>>10, c.Memory.L2.Ways, c.Memory.L2.HitLatency))
+	t.AddRow("LLC", fmt.Sprintf("%d MiB, %d-way, %d-cycle, SRRIP", c.Memory.LLC.SizeBytes>>20, c.Memory.LLC.Ways, c.Memory.LLC.HitLatency))
+	t.AddRow("DRAM", fmt.Sprintf("%d-cycle latency, %d channels, %d-cycle line occupancy",
+		c.Memory.DRAM.Latency, c.Memory.DRAM.Channels, c.Memory.DRAM.BusCycles))
+	return t
+}
+
+// Methodology reports the per-workload L1-I MPKI band (§IV: ~2-28 MPKI)
+// and the §V-B L1-I access reduction from FTQ aliasing.
+func Methodology(ms []*Matrix) *stats.Table {
+	t := stats.NewTable(
+		"Methodology: L1-I MPKI (24-entry FTQ baseline) and FTQ-aliasing access reduction",
+		"#", "workload", "mpki@24", "l1i-acc@2/Minstr", "l1i-acc@24/Minstr", "reduction%",
+	)
+	var reductions []float64
+	for _, m := range ms {
+		a2 := perMillion(m.Cons, m.Cons.L1I.Accesses)
+		a24 := perMillion(m.FDP, m.FDP.L1I.Accesses)
+		red := 0.0
+		if a2 > 0 {
+			red = 100 * (1 - a24/a2)
+		}
+		reductions = append(reductions, red)
+		t.AddRow(fmt.Sprint(m.Index), m.Spec.Name,
+			fmt.Sprintf("%.1f", m.FDP.L1IMPKI()),
+			fmt.Sprintf("%.0f", a2),
+			fmt.Sprintf("%.0f", a24),
+			fmt.Sprintf("%.1f", red))
+	}
+	t.AddRow("", "average",
+		fmt.Sprintf("%.1f", stats.Mean(column(ms, func(m *Matrix) float64 { return m.FDP.L1IMPKI() }))),
+		"", "",
+		fmt.Sprintf("%.1f", stats.Mean(reductions)))
+	return t
+}

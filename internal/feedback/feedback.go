@@ -1,0 +1,130 @@
+// Package feedback prototypes the second of the paper's §VI proposals:
+// feedback-directed software prefetching. The binary is periodically
+// re-tuned — the number of inserted prefetches raised or lowered depending
+// on their measured performance impact — without re-profiling, in the
+// spirit of AutoFDO-style feedback loops.
+//
+// The prototype is a guided search over AsmDB's aggressiveness knobs
+// (fanout threshold and sites-per-target): each candidate plan is applied
+// and run, and the best-measured binary wins. A candidate that degrades
+// IPC relative to the no-prefetch baseline is discarded, which is exactly
+// the adaptation the paper argues an aggressive front-end needs.
+package feedback
+
+import (
+	"fmt"
+
+	"frontsim/internal/asmdb"
+	"frontsim/internal/cfg"
+	"frontsim/internal/core"
+	"frontsim/internal/program"
+)
+
+// Candidate is one evaluated tuning point.
+type Candidate struct {
+	// Fanout and SitesPerTarget are the knob settings.
+	Fanout         float64
+	SitesPerTarget int
+	// Insertions is the plan size at this point.
+	Insertions int
+	// IPC is the measured performance of the rewritten binary.
+	IPC float64
+	// Speedup is IPC over the no-prefetch baseline.
+	Speedup float64
+}
+
+// Result reports a feedback-tuning session.
+type Result struct {
+	// BaselineIPC is the no-prefetch IPC on the evaluation config.
+	BaselineIPC float64
+	// Candidates lists every evaluated point in evaluation order.
+	Candidates []Candidate
+	// Best is the winning candidate; Best.Insertions == 0 means the
+	// feedback loop chose to disable software prefetching entirely.
+	Best Candidate
+	// Program is the winning rewritten program (the original when
+	// prefetching is disabled).
+	Program *program.Program
+	// Plan is the winning plan (nil when disabled).
+	Plan *asmdb.Plan
+}
+
+// Options configures the tuning session.
+type Options struct {
+	// Base is the starting AsmDB configuration.
+	Base asmdb.Options
+	// Fanouts are the thresholds to explore (descending aggressiveness
+	// order is conventional but not required).
+	Fanouts []float64
+	// SiteCounts are the per-target insertion budgets to explore.
+	SiteCounts []int
+	// Eval is the machine configuration used for measurement runs.
+	Eval core.Config
+	// ExecSeed drives the executor for every run.
+	ExecSeed uint64
+}
+
+// DefaultOptions explores a small grid around the paper's configuration.
+func DefaultOptions(eval core.Config, seed uint64) Options {
+	return Options{
+		Base:       asmdb.DefaultOptions(),
+		Fanouts:    []float64{0.2, 0.3, 0.5},
+		SiteCounts: []int{2, 4},
+		Eval:       eval,
+		ExecSeed:   seed,
+	}
+}
+
+// Tune runs the feedback loop: measure the baseline, then measure each
+// candidate rewriting, and keep the best binary. The profiled graph is
+// reused across candidates (the §VI point: feedback avoids re-profiling).
+func Tune(prog *program.Program, graph *cfg.Graph, opts Options) (*Result, error) {
+	if len(opts.Fanouts) == 0 || len(opts.SiteCounts) == 0 {
+		return nil, fmt.Errorf("feedback: empty search grid")
+	}
+	base, err := core.RunSource(opts.Eval, program.NewExecutor(prog, opts.ExecSeed))
+	if err != nil {
+		return nil, fmt.Errorf("feedback: baseline: %w", err)
+	}
+	res := &Result{
+		BaselineIPC: base.IPC(),
+		Best:        Candidate{IPC: base.IPC(), Speedup: 1},
+		Program:     prog,
+	}
+
+	for _, fanout := range opts.Fanouts {
+		for _, sites := range opts.SiteCounts {
+			o := opts.Base
+			o.FanoutThreshold = fanout
+			o.MaxSitesPerTarget = sites
+			plan, err := asmdb.Build(graph, o)
+			if err != nil {
+				return nil, fmt.Errorf("feedback: plan fanout=%v sites=%d: %w", fanout, sites, err)
+			}
+			rewritten, _, err := asmdb.Apply(prog, plan)
+			if err != nil {
+				return nil, fmt.Errorf("feedback: apply: %w", err)
+			}
+			st, err := core.RunSource(opts.Eval, program.NewExecutor(rewritten, opts.ExecSeed))
+			if err != nil {
+				return nil, fmt.Errorf("feedback: run: %w", err)
+			}
+			c := Candidate{
+				Fanout:         fanout,
+				SitesPerTarget: sites,
+				Insertions:     len(plan.Insertions),
+				IPC:            st.IPC(),
+			}
+			if res.BaselineIPC > 0 {
+				c.Speedup = c.IPC / res.BaselineIPC
+			}
+			res.Candidates = append(res.Candidates, c)
+			if c.IPC > res.Best.IPC {
+				res.Best = c
+				res.Program = rewritten
+				res.Plan = plan
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package feedback
+
+import (
+	"testing"
+
+	"frontsim/internal/cfg"
+	"frontsim/internal/core"
+	"frontsim/internal/program"
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+)
+
+func setup(t *testing.T) (*program.Program, *cfg.Graph, Options) {
+	t.Helper()
+	spec, _ := workload.Lookup("public_srv_60")
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := spec.Seed ^ 0x5eed
+	graph, err := cfg.Profile(trace.NewLimit(program.NewExecutor(prog, seed), 300_000), cfg.Options{IPC: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := core.DefaultConfig()
+	eval.WarmupInstrs = 100_000
+	eval.MaxInstrs = 250_000
+	opts := DefaultOptions(eval, seed)
+	opts.Fanouts = []float64{0.3, 0.6}
+	opts.SiteCounts = []int{2}
+	return prog, graph, opts
+}
+
+func TestTuneEvaluatesGrid(t *testing.T) {
+	prog, graph, opts := setup(t)
+	res, err := Tune(prog, graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(res.Candidates))
+	}
+	if res.BaselineIPC <= 0 {
+		t.Fatal("no baseline IPC")
+	}
+	for _, c := range res.Candidates {
+		if c.IPC <= 0 || c.Insertions <= 0 {
+			t.Fatalf("degenerate candidate %+v", c)
+		}
+	}
+}
+
+func TestTuneBestNeverWorseThanBaseline(t *testing.T) {
+	prog, graph, opts := setup(t)
+	res, err := Tune(prog, graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.IPC < res.BaselineIPC {
+		t.Fatalf("best %.4f below baseline %.4f — feedback must fall back", res.Best.IPC, res.BaselineIPC)
+	}
+	if res.Program == nil {
+		t.Fatal("no winning program")
+	}
+	// When a candidate wins, the winning program must contain its
+	// insertions; when none wins, the original program is returned.
+	if res.Best.Insertions > 0 {
+		if res.Program.NumInstrs() != prog.NumInstrs()+res.Best.Insertions {
+			t.Fatalf("winner has %d instrs, want %d+%d",
+				res.Program.NumInstrs(), prog.NumInstrs(), res.Best.Insertions)
+		}
+		if res.Plan == nil {
+			t.Fatal("winner without plan")
+		}
+	} else if res.Program != prog {
+		t.Fatal("disabled prefetching must return the original program")
+	}
+}
+
+func TestTuneEmptyGrid(t *testing.T) {
+	prog, graph, opts := setup(t)
+	opts.Fanouts = nil
+	if _, err := Tune(prog, graph, opts); err == nil {
+		t.Fatal("accepted empty grid")
+	}
+}
+
+func TestTuneDeterministic(t *testing.T) {
+	prog, graph, opts := setup(t)
+	a, err := Tune(prog, graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(prog, graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Fanout != b.Best.Fanout || a.Best.IPC != b.Best.IPC {
+		t.Fatalf("non-deterministic tuning: %+v vs %+v", a.Best, b.Best)
+	}
+}

@@ -1,0 +1,416 @@
+// Package frontend implements the fetch-directed-prefetching (FDP)
+// decoupled front-end the paper characterizes: a branch-predictor-driven
+// run-ahead engine that fills the FTQ with basic blocks along the predicted
+// path, issues their L1-I fetches out of order, delivers instructions to
+// decode in order, applies post-fetch correction (PFC) for BTB-missed
+// direct branches, and fires software instruction prefetches at pre-decode.
+//
+// Because the simulator is trace-driven, the fill engine walks the *true*
+// dynamic path while consulting the predictors; when a prediction diverges
+// from the truth the fill engine has gone down a wrong path and must stall
+// until the divergence is corrected — at pre-decode for PFC-recoverable
+// BTB misses, or at branch resolution in the back-end otherwise. This is
+// the standard ChampSim-style FDP model from the papers we follow.
+package frontend
+
+import (
+	"errors"
+	"fmt"
+
+	"frontsim/internal/bpu"
+	"frontsim/internal/cache"
+	"frontsim/internal/ftq"
+	"frontsim/internal/isa"
+	"frontsim/internal/trace"
+)
+
+// Config parameterizes the front-end.
+type Config struct {
+	// FTQEntries is the fetch target queue depth: 2 models the paper's
+	// conservative front-end, 24 the industry-standard one.
+	FTQEntries int
+	// FillWidth is the maximum basic blocks entered into the FTQ per
+	// cycle.
+	FillWidth int
+	// EnablePFC turns on post-fetch correction: a BTB-missed direct branch
+	// is discovered when its cache line is pre-decoded instead of at
+	// execution.
+	EnablePFC bool
+	// PFCDelay is the pre-decode latency applied to PFC recovery, counted
+	// from the block's fetch completion.
+	PFCDelay cache.Cycle
+	// RedirectPenalty is the front-end restart latency after a branch
+	// resolves in the back-end.
+	RedirectPenalty cache.Cycle
+	// PredecodeDelay is the latency from a block's fetch completion to its
+	// software prefetches issuing.
+	PredecodeDelay cache.Cycle
+	// BPU configures the branch prediction structures.
+	BPU bpu.Config
+	// Prefetcher optionally attaches a hardware L1-I prefetcher observing
+	// demand fetches (e.g. next-line or an entangling prefetcher).
+	Prefetcher InstrPrefetcher
+	// BTBL2FillPenalty is the fill bubble paid when a branch is found
+	// only in the second BTB level (two-level BTB configurations; see
+	// bpu.Config.L1BTBEntries). Ignored with a single-level BTB.
+	BTBL2FillPenalty cache.Cycle
+	// WrongPathDepth, when positive, models the front-end continuing to
+	// fetch sequential cache lines past an undiscovered taken branch (the
+	// not-taken assumption real FDP hardware makes while pre-decode is in
+	// flight): that many lines beyond the divergence are fetched
+	// speculatively. They pollute the L1-I and consume bandwidth but act
+	// as incidental next-line prefetching — quantified by ablation A6.
+	WrongPathDepth int
+}
+
+// InstrPrefetcher observes demand L1-I line fetches and may issue
+// speculative fills through the provided callback.
+type InstrPrefetcher interface {
+	// OnFetch is called once per demand line fetch with whether it hit the
+	// L1-I; issue fills the given line speculatively at the current cycle.
+	OnFetch(line isa.Addr, now cache.Cycle, hit bool, issue func(line isa.Addr))
+}
+
+// DefaultConfig returns the industry-standard front-end (24-entry FTQ with
+// PFC and GHR filtering, per Ishii et al.).
+func DefaultConfig() Config {
+	return Config{
+		FTQEntries:      24,
+		FillWidth:       2,
+		EnablePFC:       true,
+		PFCDelay:        2,
+		RedirectPenalty: 8,
+		PredecodeDelay:  1,
+		// WrongPathDepth defaults to 0: the paper's own trace-driven
+		// ChampSim model cannot fetch wrong-path lines either, and the
+		// reproduction targets the paper's simulator. Set it positive for
+		// the hardware-faithful not-taken streaming variant (ablation A6).
+		WrongPathDepth:   0,
+		BTBL2FillPenalty: 2,
+		BPU:              bpu.DefaultConfig(),
+	}
+}
+
+// ConservativeConfig returns the paper's conservative baseline: a 2-entry
+// FTQ.
+func ConservativeConfig() Config {
+	c := DefaultConfig()
+	c.FTQEntries = 2
+	return c
+}
+
+// Validate checks the parameters.
+func (c Config) Validate() error {
+	if c.FTQEntries <= 0 {
+		return fmt.Errorf("frontend: FTQEntries %d", c.FTQEntries)
+	}
+	if c.FillWidth <= 0 {
+		return fmt.Errorf("frontend: FillWidth %d", c.FillWidth)
+	}
+	if c.PFCDelay < 0 || c.RedirectPenalty < 0 || c.PredecodeDelay < 0 {
+		return fmt.Errorf("frontend: negative latency")
+	}
+	if c.WrongPathDepth < 0 {
+		return fmt.Errorf("frontend: WrongPathDepth %d", c.WrongPathDepth)
+	}
+	if c.BTBL2FillPenalty < 0 {
+		return fmt.Errorf("frontend: BTBL2FillPenalty %d", c.BTBL2FillPenalty)
+	}
+	return c.BPU.Validate()
+}
+
+// Stats counts front-end fill behaviour beyond what the FTQ tracks.
+type Stats struct {
+	BlocksFilled int64
+	InstrsFilled int64
+	// FillStallCycles: cycles the fill engine was blocked on a wrong-path
+	// condition (FTQ-full cycles are not stalls).
+	FillStallCycles int64
+	// WrongPathEvents by recovery point.
+	PFCRecoveries     int64
+	ExecuteRecoveries int64
+	// SwPrefetchesIssued counts prefetches fired by fetched prefetch
+	// instructions; TriggerPrefetchesIssued counts no-overhead trigger
+	// table firings.
+	SwPrefetchesIssued      int64
+	TriggerPrefetchesIssued int64
+	// WrongPathFetches counts speculative sequential line fetches issued
+	// past an undiscovered taken branch (WrongPathDepth > 0).
+	WrongPathFetches int64
+	// BTBL2FillBubbles counts fill pauses caused by second-level BTB
+	// promotions (two-level BTB configurations).
+	BTBL2FillBubbles int64
+}
+
+// Frontend is the FDP engine.
+type Frontend struct {
+	cfg Config
+	bp  *bpu.BPU
+	q   *ftq.FTQ
+	mem *cache.Hierarchy
+	src trace.Source
+
+	// triggers maps a trigger PC to target addresses prefetched when the
+	// trigger's block completes fetch (AsmDB "no insertion overhead"
+	// mode).
+	triggers map[isa.Addr][]isa.Addr
+
+	peeked   *isa.Instr
+	blockBuf []isa.Instr
+	srcDone  bool
+	srcErr   error
+
+	// pending holds scheduled software prefetches (a min-heap on cycle).
+	// Prefetches trigger at a block's pre-decode, which lies in the future
+	// at push time; issuing them immediately with a future timestamp would
+	// feed the hierarchy's bandwidth model out of chronological order, so
+	// they are queued and released by Cycle.
+	pending prefetchHeap
+
+	seq int64 // dynamic index of the next instruction to fill
+
+	// Wrong-path stall state: fill resumes at stallUntil when known, or
+	// once the branch with sequence stallSeq resolves.
+	stalled    bool
+	stallUntil cache.Cycle
+	stallSeq   int64
+
+	stats Stats
+}
+
+// New builds a front-end reading the true path from src and fetching
+// through mem. triggers may be nil.
+func New(cfg Config, src trace.Source, mem *cache.Hierarchy, triggers map[isa.Addr][]isa.Addr) (*Frontend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bp, err := bpu.New(cfg.BPU)
+	if err != nil {
+		return nil, err
+	}
+	return &Frontend{
+		cfg:      cfg,
+		bp:       bp,
+		q:        ftq.New(cfg.FTQEntries),
+		mem:      mem,
+		src:      src,
+		triggers: triggers,
+		stallSeq: -1,
+		blockBuf: make([]isa.Instr, 0, ftq.MaxBlockInstrs),
+	}, nil
+}
+
+// FTQ exposes the queue (stats and inspection).
+func (f *Frontend) FTQ() *ftq.FTQ { return f.q }
+
+// BPU exposes the branch predictors.
+func (f *Frontend) BPU() *bpu.BPU { return f.bp }
+
+// Stats returns a snapshot of fill counters.
+func (f *Frontend) Stats() Stats { return f.stats }
+
+// ResetStats clears front-end, FTQ and BPU counters (warmup boundary).
+func (f *Frontend) ResetStats() {
+	f.stats = Stats{}
+	f.q.ResetStats()
+	f.bp.ResetStats()
+}
+
+// Err returns the source error, if the stream failed (ErrEnd is not an
+// error).
+func (f *Frontend) Err() error { return f.srcErr }
+
+// Done reports that the source is exhausted and every instruction has left
+// the FTQ.
+func (f *Frontend) Done() bool {
+	return f.srcDone && f.q.Empty() && f.peeked == nil
+}
+
+func (f *Frontend) peek() *isa.Instr {
+	if f.peeked != nil || f.srcDone {
+		return f.peeked
+	}
+	in, err := f.src.Next()
+	if err != nil {
+		f.srcDone = true
+		if !errors.Is(err, trace.ErrEnd) {
+			f.srcErr = err
+		}
+		return nil
+	}
+	f.peeked = &in
+	return f.peeked
+}
+
+// nextBlock accumulates the next basic block from the true-path stream: up
+// to MaxBlockInstrs contiguous instructions, ended early by any branch.
+func (f *Frontend) nextBlock() []isa.Instr {
+	f.blockBuf = f.blockBuf[:0]
+	for len(f.blockBuf) < ftq.MaxBlockInstrs {
+		p := f.peek()
+		if p == nil {
+			break
+		}
+		if len(f.blockBuf) > 0 {
+			prev := f.blockBuf[len(f.blockBuf)-1]
+			if p.PC != prev.PC+isa.InstrSize {
+				// Discontinuity without a branch terminator cannot happen
+				// in a well-formed trace, but a serialized trace is
+				// external input: treat the boundary as a block break.
+				break
+			}
+		}
+		in := *p
+		f.peeked = nil
+		f.blockBuf = append(f.blockBuf, in)
+		if in.Class.IsBranch() {
+			break
+		}
+	}
+	return f.blockBuf
+}
+
+// Cycle advances the front-end by one cycle: accounts FTQ state, releases
+// due software prefetches, then runs the fill engine.
+func (f *Frontend) Cycle(now cache.Cycle) {
+	f.q.Tick(now)
+	for f.pending.Len() > 0 && f.pending.Min().at <= now {
+		p := f.pending.Pop()
+		f.mem.PrefetchInstr(p.target, now)
+		if p.trigger {
+			f.stats.TriggerPrefetchesIssued++
+		} else {
+			f.stats.SwPrefetchesIssued++
+		}
+	}
+	if f.srcDone && f.peeked == nil {
+		return
+	}
+	if f.stalled {
+		if f.stallSeq >= 0 || now < f.stallUntil {
+			f.stats.FillStallCycles++
+			return
+		}
+		f.stalled = false
+	}
+	for i := 0; i < f.cfg.FillWidth; i++ {
+		if f.q.Full() {
+			return
+		}
+		// Assemble the next block without consuming it past a failed push:
+		// Push cannot fail here because we checked Full, and nextBlock
+		// consumes from the stream.
+		blk := f.nextBlock()
+		if len(blk) == 0 {
+			return
+		}
+		ready, ok := f.q.Push(blk, now, f.fetchLine)
+		if !ok {
+			// Unreachable: guarded by Full above. Keep the stream sane by
+			// pushing back is impossible, so panic loudly.
+			panic("frontend: FTQ push failed after Full check")
+		}
+		f.stats.BlocksFilled++
+		f.stats.InstrsFilled += int64(len(blk))
+		f.firePrefetches(blk, ready)
+		blockSeq := f.seq
+		f.seq += int64(len(blk))
+
+		last := blk[len(blk)-1]
+		if last.Class.IsBranch() {
+			res := f.bp.PredictAndTrain(last)
+			if !res.CorrectPath {
+				f.stallFill(res, ready, blockSeq+int64(len(blk))-1)
+				f.fetchWrongPath(last, now)
+				return
+			}
+			if res.BTBL2Fill && f.cfg.BTBL2FillPenalty > 0 {
+				// The branch was identified from the second BTB level:
+				// fill pays a promotion bubble but stays on the true path.
+				f.stalled = true
+				f.stallSeq = -1
+				f.stallUntil = now + f.cfg.BTBL2FillPenalty
+				f.stats.BTBL2FillBubbles++
+				return
+			}
+		}
+	}
+}
+
+func (f *Frontend) fetchLine(line isa.Addr, now cache.Cycle) cache.Cycle {
+	ready := f.mem.FetchInstr(line, now)
+	if f.cfg.Prefetcher != nil {
+		hit := ready-now <= f.mem.L1I.Config().HitLatency
+		f.cfg.Prefetcher.OnFetch(line, now, hit, func(l isa.Addr) {
+			f.mem.PrefetchInstr(l, now)
+		})
+	}
+	return ready
+}
+
+// firePrefetches schedules software prefetches carried by the block
+// (inserted prefetch instructions) and trigger-table prefetches
+// (no-overhead mode), both timed at the block's pre-decode.
+func (f *Frontend) firePrefetches(blk []isa.Instr, ready cache.Cycle) {
+	at := ready + f.cfg.PredecodeDelay
+	for _, in := range blk {
+		if in.Class == isa.ClassSwPrefetch {
+			f.pending.Push(pendingPrefetch{at: at, target: in.Target})
+		}
+		if f.triggers != nil {
+			if targets, ok := f.triggers[in.PC]; ok {
+				for _, t := range targets {
+					f.pending.Push(pendingPrefetch{at: at, target: t, trigger: true})
+				}
+			}
+		}
+	}
+}
+
+// stallFill suspends run-ahead after a wrong-path divergence.
+func (f *Frontend) stallFill(res bpu.Result, blockReady cache.Cycle, branchSeq int64) {
+	f.stalled = true
+	if res.Recovery == bpu.RecoverPreDecode && f.cfg.EnablePFC {
+		// Pre-decode of the fetched line exposes the direct branch; fill
+		// resumes with the corrected history.
+		f.stallUntil = blockReady + f.cfg.PFCDelay
+		f.stallSeq = -1
+		f.stats.PFCRecoveries++
+		return
+	}
+	// Wait for the branch to resolve in the back-end.
+	f.stallSeq = branchSeq
+	f.stallUntil = 0
+	f.stats.ExecuteRecoveries++
+}
+
+// fetchWrongPath models the not-taken assumption: while the divergence is
+// unresolved, the fetch engine streams sequential lines past the branch.
+// The trace cannot supply wrong-path instructions, but the addresses are
+// known (sequential), so the cache-side effects are exact.
+func (f *Frontend) fetchWrongPath(branch isa.Instr, now cache.Cycle) {
+	if f.cfg.WrongPathDepth <= 0 {
+		return
+	}
+	line := branch.PC.Line()
+	for i := 1; i <= f.cfg.WrongPathDepth; i++ {
+		f.mem.PrefetchInstr(line+isa.Addr(i*isa.LineSize), now)
+		f.stats.WrongPathFetches++
+	}
+}
+
+// OnBranchResolved informs the front-end that the dynamic instruction with
+// the given fill sequence number (a branch) finished executing at cycle
+// done. If fill is waiting on it, run-ahead resumes after the redirect
+// penalty.
+func (f *Frontend) OnBranchResolved(seq int64, done cache.Cycle) {
+	if f.stalled && f.stallSeq == seq {
+		f.stallSeq = -1
+		f.stallUntil = done + f.cfg.RedirectPenalty
+	}
+}
+
+// Dequeue pulls up to max fetched instructions in program order.
+func (f *Frontend) Dequeue(now cache.Cycle, max int, out []isa.Instr) []isa.Instr {
+	return f.q.PopReady(now, max, out)
+}

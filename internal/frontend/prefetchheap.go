@@ -1,0 +1,65 @@
+package frontend
+
+import (
+	"frontsim/internal/cache"
+	"frontsim/internal/isa"
+)
+
+// pendingPrefetch is a software prefetch awaiting its pre-decode cycle.
+type pendingPrefetch struct {
+	at      cache.Cycle
+	target  isa.Addr
+	trigger bool // from the no-overhead trigger table rather than an instruction
+}
+
+// prefetchHeap is a small binary min-heap on the issue cycle. A dedicated
+// implementation (rather than container/heap) keeps the per-cycle hot path
+// free of interface conversions.
+type prefetchHeap struct {
+	items []pendingPrefetch
+}
+
+// Len returns the number of queued prefetches.
+func (h *prefetchHeap) Len() int { return len(h.items) }
+
+// Min returns the earliest pending prefetch; callers must check Len first.
+func (h *prefetchHeap) Min() pendingPrefetch { return h.items[0] }
+
+// Push inserts a prefetch.
+func (h *prefetchHeap) Push(p pendingPrefetch) {
+	h.items = append(h.items, p)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].at <= h.items[i].at {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest prefetch; callers must check Len.
+func (h *prefetchHeap) Pop() pendingPrefetch {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].at < h.items[small].at {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].at < h.items[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

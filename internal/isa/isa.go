@@ -1,0 +1,150 @@
+// Package isa defines the instruction model shared by the trace format, the
+// synthetic program generator and the simulator. It deliberately mirrors the
+// level of abstraction ChampSim traces use: an instruction is a PC, a size,
+// a class, and (for branches) a taken flag and target; (for memory ops) a
+// data address. The paper's machine fetches 32-bit fixed-size instructions
+// ("192, 32-bit instructions" for the 24-entry FTQ), so the default size is
+// four bytes.
+package isa
+
+import "fmt"
+
+// InstrSize is the fixed instruction size in bytes. The paper's front-end
+// discussion assumes 32-bit instructions (8 per FTQ basic-block entry,
+// 16 per 64-byte cache line).
+const InstrSize = 4
+
+// LineSize is the cache line size in bytes used throughout the hierarchy.
+const LineSize = 64
+
+// Addr is a virtual address.
+type Addr uint64
+
+// Line returns the cache-line-aligned address containing a.
+func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
+
+// LineIndex returns the cache line number (address / LineSize).
+func (a Addr) LineIndex() uint64 { return uint64(a) / LineSize }
+
+// String renders the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// Class enumerates the instruction kinds the simulator distinguishes.
+type Class uint8
+
+const (
+	// ClassALU covers simple integer/FP operations with short fixed latency.
+	ClassALU Class = iota
+	// ClassLoad reads memory through the data hierarchy.
+	ClassLoad
+	// ClassStore writes memory through the data hierarchy.
+	ClassStore
+	// ClassMul covers longer-latency arithmetic (multiply/divide class).
+	ClassMul
+	// ClassBranch is a conditional direct branch.
+	ClassBranch
+	// ClassJump is an unconditional direct jump.
+	ClassJump
+	// ClassCall is a direct call (pushes a return address).
+	ClassCall
+	// ClassReturn pops the return-address stack.
+	ClassReturn
+	// ClassIndirect is an indirect jump (register target).
+	ClassIndirect
+	// ClassIndirectCall is an indirect call.
+	ClassIndirectCall
+	// ClassSwPrefetch is a software instruction-prefetch: a hint carrying a
+	// target code address. It flows through the front-end like any other
+	// instruction; a pre-decoder fires the actual prefetch (paper §IV).
+	ClassSwPrefetch
+	numClasses
+)
+
+// NumClasses is the count of distinct instruction classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	"alu", "load", "store", "mul", "branch", "jump", "call", "return",
+	"indirect", "indirect-call", "sw-prefetch",
+}
+
+// String returns the lower-case mnemonic for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsBranch reports whether the class redirects control flow (conditional or
+// not). Software prefetches are not branches: they fall through.
+func (c Class) IsBranch() bool {
+	switch c {
+	case ClassBranch, ClassJump, ClassCall, ClassReturn, ClassIndirect, ClassIndirectCall:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether the branch outcome is data-dependent.
+func (c Class) IsConditional() bool { return c == ClassBranch }
+
+// IsIndirect reports whether the target comes from a register rather than
+// the instruction encoding (returns resolve through the RAS, so they are
+// reported separately).
+func (c Class) IsIndirect() bool {
+	return c == ClassIndirect || c == ClassIndirectCall
+}
+
+// IsCall reports whether the instruction pushes a return address.
+func (c Class) IsCall() bool { return c == ClassCall || c == ClassIndirectCall }
+
+// IsMem reports whether the instruction accesses the data hierarchy.
+func (c Class) IsMem() bool { return c == ClassLoad || c == ClassStore }
+
+// Instr is one dynamic instruction instance.
+type Instr struct {
+	// PC is the instruction's virtual address.
+	PC Addr
+	// Class is the instruction kind.
+	Class Class
+	// Taken reports, for conditional branches, whether this dynamic
+	// instance was taken. Unconditional control flow always has Taken set.
+	Taken bool
+	// Target is the next PC when control flow redirects, or the prefetch
+	// target for ClassSwPrefetch. Zero for straight-line instructions.
+	Target Addr
+	// DataAddr is the effective address for loads and stores.
+	DataAddr Addr
+}
+
+// NextPC returns the address of the instruction that follows this dynamic
+// instance in program order.
+func (in *Instr) NextPC() Addr {
+	if in.Class.IsBranch() && in.Taken {
+		return in.Target
+	}
+	return in.PC + InstrSize
+}
+
+// Redirects reports whether this dynamic instance changed control flow.
+func (in *Instr) Redirects() bool { return in.Class.IsBranch() && in.Taken }
+
+// String renders a compact human-readable form, useful in tests and the
+// scenario example.
+func (in Instr) String() string {
+	switch {
+	case in.Class == ClassSwPrefetch:
+		return fmt.Sprintf("%v %v -> %v", in.PC, in.Class, in.Target)
+	case in.Class.IsBranch():
+		t := "nt"
+		if in.Taken {
+			t = "t"
+		}
+		return fmt.Sprintf("%v %v %s -> %v", in.PC, in.Class, t, in.Target)
+	case in.Class.IsMem():
+		return fmt.Sprintf("%v %v @%v", in.PC, in.Class, in.DataAddr)
+	default:
+		return fmt.Sprintf("%v %v", in.PC, in.Class)
+	}
+}

@@ -1,0 +1,118 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrLineAlignment(t *testing.T) {
+	cases := []struct {
+		in   Addr
+		want Addr
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{0x1234, 0x1200},
+	}
+	for _, c := range cases {
+		if got := c.in.Line(); got != c.want {
+			t.Errorf("Line(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrLineProperty(t *testing.T) {
+	f := func(a uint64) bool {
+		l := Addr(a).Line()
+		return uint64(l)%LineSize == 0 && uint64(l) <= a && a-uint64(l) < LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineIndexConsistentWithLine(t *testing.T) {
+	f := func(a uint64) bool {
+		return Addr(a).LineIndex() == uint64(Addr(a).Line())/LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	branches := []Class{ClassBranch, ClassJump, ClassCall, ClassReturn, ClassIndirect, ClassIndirectCall}
+	for _, c := range branches {
+		if !c.IsBranch() {
+			t.Errorf("%v should be a branch", c)
+		}
+	}
+	nonBranches := []Class{ClassALU, ClassLoad, ClassStore, ClassMul, ClassSwPrefetch}
+	for _, c := range nonBranches {
+		if c.IsBranch() {
+			t.Errorf("%v should not be a branch", c)
+		}
+	}
+	if !ClassBranch.IsConditional() || ClassJump.IsConditional() {
+		t.Error("conditional predicate wrong")
+	}
+	if !ClassIndirect.IsIndirect() || !ClassIndirectCall.IsIndirect() || ClassReturn.IsIndirect() {
+		t.Error("indirect predicate wrong")
+	}
+	if !ClassCall.IsCall() || !ClassIndirectCall.IsCall() || ClassJump.IsCall() {
+		t.Error("call predicate wrong")
+	}
+	if !ClassLoad.IsMem() || !ClassStore.IsMem() || ClassALU.IsMem() {
+		t.Error("mem predicate wrong")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		if s := c.String(); s == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+	if Class(200).String() == "" {
+		t.Error("out-of-range class should still render")
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	seq := Instr{PC: 100, Class: ClassALU}
+	if got := seq.NextPC(); got != 104 {
+		t.Errorf("sequential NextPC = %v, want 104", got)
+	}
+	nt := Instr{PC: 100, Class: ClassBranch, Taken: false, Target: 200}
+	if got := nt.NextPC(); got != 104 {
+		t.Errorf("not-taken NextPC = %v, want 104", got)
+	}
+	tk := Instr{PC: 100, Class: ClassBranch, Taken: true, Target: 200}
+	if got := tk.NextPC(); got != 200 {
+		t.Errorf("taken NextPC = %v, want 200", got)
+	}
+	// A software prefetch never redirects even with a target set.
+	pf := Instr{PC: 100, Class: ClassSwPrefetch, Taken: true, Target: 0x4000}
+	if got := pf.NextPC(); got != 104 {
+		t.Errorf("sw-prefetch NextPC = %v, want 104", got)
+	}
+	if pf.Redirects() {
+		t.Error("sw-prefetch must not redirect")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	for _, in := range []Instr{
+		{PC: 0x40, Class: ClassALU},
+		{PC: 0x40, Class: ClassLoad, DataAddr: 0x1000},
+		{PC: 0x40, Class: ClassBranch, Taken: true, Target: 0x80},
+		{PC: 0x40, Class: ClassSwPrefetch, Target: 0x2000},
+	} {
+		if in.String() == "" {
+			t.Errorf("empty String for %#v", in)
+		}
+	}
+}

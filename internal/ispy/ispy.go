@@ -1,0 +1,178 @@
+// Package ispy models I-SPY (Khan et al., MICRO 2020), the software
+// instruction prefetcher the paper's §VII-B discusses as AsmDB's
+// successor. I-SPY extends AsmDB with two ideas:
+//
+//  1. Conditional prefetches: a prefetch carries the branch-history
+//     context observed on profiled paths to the miss, and hardware issues
+//     it only when the live execution context matches — cutting the
+//     inaccurate prefetches high-fanout sites would otherwise fire.
+//  2. Coalescing: prefetches at one site whose target lines are close
+//     together merge into a single multi-line prefetch instruction,
+//     reducing the inserted-instruction count (static/dynamic bloat).
+//
+// The model starts from an AsmDB plan: coalescing is a plan-to-plan
+// transform; conditional issue is realized through the simulator's
+// no-overhead trigger mechanism combined with a context filter evaluated
+// at trigger time. Per the original design, prefetches that can be
+// neither conditional nor coalesced fall back to plain AsmDB behaviour.
+package ispy
+
+import (
+	"fmt"
+	"sort"
+
+	"frontsim/internal/asmdb"
+	"frontsim/internal/isa"
+)
+
+// Options tunes the I-SPY transforms.
+type Options struct {
+	// CoalesceDistance is the maximum gap, in cache lines, between two
+	// targets merged into one coalesced prefetch (the paper's "set
+	// distance from one another").
+	CoalesceDistance int
+	// MaxCoalesced bounds lines covered by one coalesced prefetch (the
+	// footprint one multi-line prefetch instruction can encode).
+	MaxCoalesced int
+	// MinConditionProb: sites whose reach probability is below this are
+	// made conditional (high-fanout sites benefit most from context
+	// checks); sites above it issue unconditionally.
+	MinConditionProb float64
+}
+
+// DefaultOptions mirrors the published configuration's spirit.
+func DefaultOptions() Options {
+	return Options{CoalesceDistance: 2, MaxCoalesced: 4, MinConditionProb: 0.75}
+}
+
+// Validate checks parameters.
+func (o Options) Validate() error {
+	if o.CoalesceDistance < 0 || o.MaxCoalesced <= 0 {
+		return fmt.Errorf("ispy: coalescing parameters %+v", o)
+	}
+	if o.MinConditionProb <= 0 || o.MinConditionProb > 1 {
+		return fmt.Errorf("ispy: MinConditionProb %v", o.MinConditionProb)
+	}
+	return nil
+}
+
+// Prefetch is one transformed prefetch operation.
+type Prefetch struct {
+	// Site is the trigger block start PC.
+	Site isa.Addr
+	// Lines are the target cache lines (1 for a plain prefetch, up to
+	// MaxCoalesced for a coalesced one).
+	Lines []isa.Addr
+	// Conditional marks a context-checked prefetch; Prob is the profiled
+	// reach probability used as the issue condition's strength.
+	Conditional bool
+	Prob        float64
+}
+
+// Plan is the transformed prefetch set.
+type Plan struct {
+	Prefetches []Prefetch
+	// Stats of the transformation.
+	InputInsertions int
+	Coalesced       int // input insertions absorbed into multi-line prefetches
+	Conditionals    int // prefetches marked conditional
+}
+
+// InstructionCount returns the number of prefetch instructions the plan
+// inserts — the bloat I-SPY's coalescing reduces relative to AsmDB.
+func (p *Plan) InstructionCount() int { return len(p.Prefetches) }
+
+// CoalescingSavings returns the fraction of AsmDB's insertions eliminated.
+func (p *Plan) CoalescingSavings() float64 {
+	if p.InputInsertions == 0 {
+		return 0
+	}
+	return 1 - float64(len(p.Prefetches))/float64(p.InputInsertions)
+}
+
+// Transform applies I-SPY's coalescing and conditional marking to an
+// AsmDB plan.
+func Transform(in *asmdb.Plan, opts Options) (*Plan, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	// Group insertions by site.
+	bySite := make(map[isa.Addr][]asmdb.Insertion)
+	var sites []isa.Addr
+	for _, ins := range in.Insertions {
+		if _, ok := bySite[ins.Site]; !ok {
+			sites = append(sites, ins.Site)
+		}
+		bySite[ins.Site] = append(bySite[ins.Site], ins)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+
+	out := &Plan{InputInsertions: len(in.Insertions)}
+	for _, site := range sites {
+		group := bySite[site]
+		// Sort targets by line for coalescing.
+		sort.Slice(group, func(i, j int) bool {
+			return group[i].Target.Line() < group[j].Target.Line()
+		})
+		i := 0
+		for i < len(group) {
+			pf := Prefetch{
+				Site:  site,
+				Lines: []isa.Addr{group[i].Target.Line()},
+				Prob:  group[i].Prob,
+			}
+			j := i + 1
+			for j < len(group) && len(pf.Lines) < opts.MaxCoalesced {
+				prev := pf.Lines[len(pf.Lines)-1]
+				next := group[j].Target.Line()
+				if next == prev {
+					// Duplicate line within the site: fold silently.
+					if group[j].Prob < pf.Prob {
+						pf.Prob = group[j].Prob
+					}
+					out.Coalesced++
+					j++
+					continue
+				}
+				gap := int(next.LineIndex() - prev.LineIndex())
+				if gap > opts.CoalesceDistance {
+					break
+				}
+				pf.Lines = append(pf.Lines, next)
+				if group[j].Prob < pf.Prob {
+					pf.Prob = group[j].Prob
+				}
+				out.Coalesced++
+				j++
+			}
+			if pf.Prob < opts.MinConditionProb {
+				pf.Conditional = true
+				out.Conditionals++
+			}
+			out.Prefetches = append(out.Prefetches, pf)
+			i = j
+		}
+	}
+	return out, nil
+}
+
+// Triggers compiles the plan into the simulator's trigger-table form for
+// the no-inserted-instruction evaluation path. Conditional prefetches are
+// context-filtered by ctx: a ConditionFunc deciding, per (site, prob),
+// whether the live context matches; nil issues everything (upper bound).
+type ConditionFunc func(site isa.Addr, prob float64) bool
+
+// Triggers builds a trigger table from the plan. Conditional prefetches
+// consult ctx at compile time per site occurrence — the simulator's
+// trigger table is static, so the condition models the average-case
+// context match by thinning conditional targets through ctx.
+func (p *Plan) Triggers(ctx ConditionFunc) map[isa.Addr][]isa.Addr {
+	out := make(map[isa.Addr][]isa.Addr)
+	for _, pf := range p.Prefetches {
+		if pf.Conditional && ctx != nil && !ctx(pf.Site, pf.Prob) {
+			continue
+		}
+		out[pf.Site] = append(out[pf.Site], pf.Lines...)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package ispy
+
+import (
+	"testing"
+
+	"frontsim/internal/asmdb"
+	"frontsim/internal/isa"
+)
+
+func planOf(ins ...asmdb.Insertion) *asmdb.Plan {
+	return &asmdb.Plan{Insertions: ins}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{CoalesceDistance: -1, MaxCoalesced: 1, MinConditionProb: 0.5},
+		{CoalesceDistance: 1, MaxCoalesced: 0, MinConditionProb: 0.5},
+		{CoalesceDistance: 1, MaxCoalesced: 1, MinConditionProb: 0},
+		{CoalesceDistance: 1, MaxCoalesced: 1, MinConditionProb: 1.5},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestCoalescingAdjacentLines(t *testing.T) {
+	in := planOf(
+		asmdb.Insertion{Site: 0x1000, Target: 0x9000, Prob: 0.9},
+		asmdb.Insertion{Site: 0x1000, Target: 0x9040, Prob: 0.8}, // next line
+		asmdb.Insertion{Site: 0x1000, Target: 0x9080, Prob: 0.9}, // next again
+	)
+	p, err := Transform(in, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InstructionCount() != 1 {
+		t.Fatalf("prefetches = %d, want 1 coalesced", p.InstructionCount())
+	}
+	if len(p.Prefetches[0].Lines) != 3 {
+		t.Fatalf("lines = %v", p.Prefetches[0].Lines)
+	}
+	if p.Coalesced != 2 {
+		t.Fatalf("coalesced = %d", p.Coalesced)
+	}
+	if p.CoalescingSavings() < 0.6 {
+		t.Fatalf("savings %v", p.CoalescingSavings())
+	}
+	// The merged prefetch carries the weakest probability.
+	if p.Prefetches[0].Prob != 0.8 {
+		t.Fatalf("prob %v", p.Prefetches[0].Prob)
+	}
+}
+
+func TestCoalescingRespectsDistance(t *testing.T) {
+	in := planOf(
+		asmdb.Insertion{Site: 0x1000, Target: 0x9000, Prob: 0.9},
+		asmdb.Insertion{Site: 0x1000, Target: 0x9000 + 10*isa.LineSize, Prob: 0.9},
+	)
+	opts := DefaultOptions()
+	opts.CoalesceDistance = 2
+	p, err := Transform(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InstructionCount() != 2 {
+		t.Fatalf("distant targets merged: %+v", p.Prefetches)
+	}
+}
+
+func TestCoalescingRespectsMax(t *testing.T) {
+	var ins []asmdb.Insertion
+	for i := 0; i < 6; i++ {
+		ins = append(ins, asmdb.Insertion{Site: 0x1000, Target: isa.Addr(0x9000 + i*isa.LineSize), Prob: 0.9})
+	}
+	opts := DefaultOptions()
+	opts.MaxCoalesced = 4
+	p, err := Transform(planOf(ins...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InstructionCount() != 2 {
+		t.Fatalf("prefetches = %d, want 2 (4+2)", p.InstructionCount())
+	}
+}
+
+func TestDuplicateLinesFold(t *testing.T) {
+	in := planOf(
+		asmdb.Insertion{Site: 0x1000, Target: 0x9000, Prob: 0.9},
+		asmdb.Insertion{Site: 0x1000, Target: 0x9010, Prob: 0.7}, // same line
+	)
+	p, err := Transform(in, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InstructionCount() != 1 || len(p.Prefetches[0].Lines) != 1 {
+		t.Fatalf("%+v", p.Prefetches)
+	}
+	if p.Prefetches[0].Prob != 0.7 {
+		t.Fatalf("prob %v", p.Prefetches[0].Prob)
+	}
+}
+
+func TestConditionalMarking(t *testing.T) {
+	in := planOf(
+		asmdb.Insertion{Site: 0x1000, Target: 0x9000, Prob: 0.9}, // unconditional
+		asmdb.Insertion{Site: 0x2000, Target: 0xa000, Prob: 0.4}, // conditional
+	)
+	p, err := Transform(in, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Conditionals != 1 {
+		t.Fatalf("conditionals = %d", p.Conditionals)
+	}
+	for _, pf := range p.Prefetches {
+		if pf.Site == 0x2000 && !pf.Conditional {
+			t.Fatal("low-prob site not conditional")
+		}
+		if pf.Site == 0x1000 && pf.Conditional {
+			t.Fatal("high-prob site marked conditional")
+		}
+	}
+}
+
+func TestTriggersFilterConditionals(t *testing.T) {
+	in := planOf(
+		asmdb.Insertion{Site: 0x1000, Target: 0x9000, Prob: 0.9},
+		asmdb.Insertion{Site: 0x2000, Target: 0xa000, Prob: 0.4},
+	)
+	p, err := Transform(in, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nil context: everything issues.
+	all := p.Triggers(nil)
+	if len(all) != 2 {
+		t.Fatalf("triggers = %d", len(all))
+	}
+	// Rejecting context: conditionals vanish, unconditional stays.
+	none := p.Triggers(func(isa.Addr, float64) bool { return false })
+	if len(none) != 1 {
+		t.Fatalf("filtered triggers = %d", len(none))
+	}
+	if _, ok := none[0x1000]; !ok {
+		t.Fatal("unconditional prefetch filtered")
+	}
+}
+
+func TestSitesIndependent(t *testing.T) {
+	// Adjacent target lines at different sites never merge.
+	in := planOf(
+		asmdb.Insertion{Site: 0x1000, Target: 0x9000, Prob: 0.9},
+		asmdb.Insertion{Site: 0x2000, Target: 0x9040, Prob: 0.9},
+	)
+	p, err := Transform(in, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InstructionCount() != 2 {
+		t.Fatalf("cross-site coalescing: %+v", p.Prefetches)
+	}
+}
+
+func TestTransformDeterministic(t *testing.T) {
+	var ins []asmdb.Insertion
+	for i := 0; i < 40; i++ {
+		ins = append(ins, asmdb.Insertion{
+			Site:   isa.Addr(0x1000 + (i%5)*0x100),
+			Target: isa.Addr(0x9000 + (i*3%11)*isa.LineSize),
+			Prob:   0.3 + float64(i%7)/10,
+		})
+	}
+	a, err := Transform(planOf(ins...), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Transform(planOf(ins...), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Prefetches) != len(b.Prefetches) {
+		t.Fatal("non-deterministic size")
+	}
+	for i := range a.Prefetches {
+		if a.Prefetches[i].Site != b.Prefetches[i].Site ||
+			len(a.Prefetches[i].Lines) != len(b.Prefetches[i].Lines) {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}

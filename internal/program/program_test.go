@@ -1,0 +1,446 @@
+package program
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"frontsim/internal/isa"
+	"frontsim/internal/trace"
+)
+
+// testProgram builds a small two-function program:
+//
+//	main:
+//	  b0: alu, alu; cond(p=0.5) -> b2
+//	  b1: load; call leaf
+//	  b2: alu; jump -> b0        (infinite loop)
+//	leaf:
+//	  b0: store; return
+func testProgram() *Program {
+	region := Region{Base: 0x10000000, Size: 1 << 16}
+	main := &Func{ID: 0, Name: "main"}
+	leaf := &Func{ID: 1, Name: "leaf"}
+	main.Blocks = []*Block{
+		{
+			Body: []StaticInstr{{Class: isa.ClassALU}, {Class: isa.ClassALU}},
+			Term: Terminator{Kind: TermCond, Target: BlockRef{0, 2}, TakenProb: 0.5},
+		},
+		{
+			Body: []StaticInstr{{Class: isa.ClassLoad, Data: DataPattern{Kind: DataRandom, Region: region}}},
+			Term: Terminator{Kind: TermCall, Callee: 1},
+		},
+		{
+			Body: []StaticInstr{{Class: isa.ClassALU}},
+			Term: Terminator{Kind: TermJump, Target: BlockRef{0, 0}},
+		},
+	}
+	leaf.Blocks = []*Block{
+		{
+			Body: []StaticInstr{{Class: isa.ClassStore, Data: DataPattern{Kind: DataStride, Region: region, Stride: 64}}},
+			Term: Terminator{Kind: TermReturn},
+		},
+	}
+	p := &Program{Name: "test", Base: 0x400000, Funcs: []*Func{main, leaf}, Entry: 0}
+	p.Layout()
+	return p
+}
+
+func TestValidateAcceptsGoodProgram(t *testing.T) {
+	if err := testProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+	}{
+		{"bad entry", func(p *Program) { p.Entry = 9 }},
+		{"bad cond target", func(p *Program) { p.Funcs[0].Blocks[0].Term.Target = BlockRef{5, 0} }},
+		{"bad prob", func(p *Program) { p.Funcs[0].Blocks[0].Term.TakenProb = 1.5 }},
+		{"bad callee", func(p *Program) { p.Funcs[0].Blocks[1].Term.Callee = 7 }},
+		{"branch in body", func(p *Program) { p.Funcs[0].Blocks[0].Body[0].Class = isa.ClassJump }},
+		{"mem without pattern", func(p *Program) { p.Funcs[0].Blocks[1].Body[0].Data = DataPattern{} }},
+		{"cond at func end", func(p *Program) {
+			p.Funcs[1].Blocks[0].Term = Terminator{Kind: TermCond, Target: BlockRef{1, 0}, TakenProb: 0.5}
+		}},
+		{"empty TermNone", func(p *Program) {
+			p.Funcs[0].Blocks[0].Body = nil
+			p.Funcs[0].Blocks[0].Term = Terminator{Kind: TermNone}
+		}},
+		{"indirect mismatch", func(p *Program) {
+			p.Funcs[0].Blocks[2].Term = Terminator{Kind: TermIndirect, Targets: []BlockRef{{0, 0}}, Weights: nil}
+		}},
+	}
+	for _, c := range cases {
+		p := testProgram()
+		c.mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken program", c.name)
+		}
+	}
+}
+
+func TestLayoutAddresses(t *testing.T) {
+	p := testProgram()
+	if p.Funcs[0].Blocks[0].Addr != 0x400000 {
+		t.Fatalf("entry block at %v", p.Funcs[0].Blocks[0].Addr)
+	}
+	// main: b0=3 instrs, b1=2, b2=2 => 7 instrs = 28 bytes, leaf aligned to
+	// 16 => 0x400000+32 = 0x400020.
+	if got := p.Funcs[1].Blocks[0].Addr; got != 0x400020 {
+		t.Fatalf("leaf at %v, want 0x400020", got)
+	}
+	if p.NumInstrs() != 9 {
+		t.Fatalf("NumInstrs = %d, want 9", p.NumInstrs())
+	}
+	if p.StaticBytes() != 0x400020+8-0x400000 {
+		t.Fatalf("StaticBytes = %d", p.StaticBytes())
+	}
+}
+
+func TestLocate(t *testing.T) {
+	p := testProgram()
+	for fi, f := range p.Funcs {
+		for bi, b := range f.Blocks {
+			for i := 0; i < b.NumInstrs(); i++ {
+				ref, idx, ok := p.Locate(b.InstrPC(i))
+				if !ok || ref != (BlockRef{FuncID(fi), bi}) || idx != i {
+					t.Fatalf("Locate(%v) = %v,%d,%v; want {%d,%d},%d", b.InstrPC(i), ref, idx, ok, fi, bi, i)
+				}
+			}
+		}
+	}
+	if _, _, ok := p.Locate(0x3fffff); ok {
+		t.Fatal("Locate accepted address below program")
+	}
+	if _, _, ok := p.Locate(p.Base + p.StaticBytes()); ok {
+		t.Fatal("Locate accepted address past program")
+	}
+	// Alignment padding between main and leaf: 0x40001c is main's last
+	// instruction end; 0x40001c..0x400020 is padding.
+	if _, _, ok := p.Locate(0x40001c); ok {
+		t.Fatal("Locate accepted padding address")
+	}
+	if _, _, ok := p.Locate(p.Base + 1); ok {
+		t.Fatal("Locate accepted misaligned address")
+	}
+}
+
+func TestExecutorDeterminism(t *testing.T) {
+	p := testProgram()
+	a := NewExecutor(p, 42)
+	b := NewExecutor(p, 42)
+	for i := 0; i < 5000; i++ {
+		ia, ea := a.Next()
+		ib, eb := b.Next()
+		if ea != nil || eb != nil {
+			t.Fatalf("unexpected end at %d: %v %v", i, ea, eb)
+		}
+		if ia != ib {
+			t.Fatalf("streams diverged at %d: %v vs %v", i, ia, ib)
+		}
+	}
+}
+
+func TestExecutorResetReplays(t *testing.T) {
+	p := testProgram()
+	e := NewExecutor(p, 7)
+	first, err := trace.Collect(trace.NewLimit(e, 2000), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	second, err := trace.Collect(trace.NewLimit(e, 2000), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+func TestExecutorControlFlowConsistency(t *testing.T) {
+	// Every instruction's PC must equal the previous instruction's NextPC:
+	// the stream is a single well-formed dynamic path.
+	p := testProgram()
+	e := NewExecutor(p, 3)
+	prev, err := e.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		in, err := e.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.PC != prev.NextPC() {
+			t.Fatalf("discontinuity at %d: prev %v -> %v, got %v", i, prev, prev.NextPC(), in.PC)
+		}
+		prev = in
+	}
+}
+
+func TestExecutorEmitsAllClasses(t *testing.T) {
+	p := testProgram()
+	e := NewExecutor(p, 5)
+	st, err := trace.Measure(trace.NewLimit(e, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []isa.Class{isa.ClassALU, isa.ClassLoad, isa.ClassStore, isa.ClassBranch, isa.ClassJump, isa.ClassCall, isa.ClassReturn} {
+		if st.ByClass[c] == 0 {
+			t.Errorf("class %v never emitted", c)
+		}
+	}
+}
+
+func TestExecutorDataAddressesInRegion(t *testing.T) {
+	p := testProgram()
+	region := Region{Base: 0x10000000, Size: 1 << 16}
+	e := NewExecutor(p, 9)
+	for i := 0; i < 10000; i++ {
+		in, err := e.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Class.IsMem() && !region.Contains(in.DataAddr) {
+			t.Fatalf("data address %v outside region", in.DataAddr)
+		}
+	}
+}
+
+func TestExecutorEndsOnEntryReturn(t *testing.T) {
+	f := &Func{ID: 0, Name: "main", Blocks: []*Block{
+		{Body: []StaticInstr{{Class: isa.ClassALU}}, Term: Terminator{Kind: TermReturn}},
+	}}
+	p := &Program{Name: "tiny", Base: 0x1000, Funcs: []*Func{f}, Entry: 0}
+	p.Layout()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(p, 1)
+	got, err := trace.Collect(e, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("collected %d instrs, want 2", len(got))
+	}
+	if _, err := e.Next(); !errors.Is(err, trace.ErrEnd) {
+		t.Fatalf("want trace.ErrEnd, got %v", err)
+	}
+}
+
+func TestTermNoneFallsThrough(t *testing.T) {
+	f := &Func{ID: 0, Name: "main", Blocks: []*Block{
+		{Body: []StaticInstr{{Class: isa.ClassALU}}, Term: Terminator{Kind: TermNone}},
+		{Body: []StaticInstr{{Class: isa.ClassMul}}, Term: Terminator{Kind: TermReturn}},
+	}}
+	p := &Program{Name: "ft", Base: 0x1000, Funcs: []*Func{f}, Entry: 0}
+	p.Layout()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Collect(NewExecutor(p, 1), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d instrs, want 3 (no instruction for TermNone)", len(got))
+	}
+	if got[1].Class != isa.ClassMul || got[1].PC != got[0].PC+isa.InstrSize {
+		t.Fatalf("fallthrough wrong: %v", got[1])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := testProgram()
+	q := p.Clone()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the clone must not affect the original.
+	q.Funcs[0].Blocks[0].Body[0].Class = isa.ClassMul
+	if p.Funcs[0].Blocks[0].Body[0].Class != isa.ClassALU {
+		t.Fatal("Clone shares body slices with original")
+	}
+	// Streams from original and (unmutated parts of) clone line up.
+	a, _ := trace.Collect(trace.NewLimit(NewExecutor(p, 11), 1000), -1)
+	p2 := testProgram()
+	b, _ := trace.Collect(trace.NewLimit(NewExecutor(p2.Clone(), 11), 1000), -1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clone stream diverged at %d", i)
+		}
+	}
+}
+
+func TestInsertPrefetchShiftsAddressesAndPreservesPath(t *testing.T) {
+	p := testProgram()
+	before, _ := trace.Collect(trace.NewLimit(NewExecutor(p, 13), 3000), -1)
+
+	q := p.Clone()
+	if err := q.InsertPrefetch(BlockRef{0, 0}, 1, BlockRef{1, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.NumInstrs() != p.NumInstrs()+1 {
+		t.Fatalf("NumInstrs %d, want %d", q.NumInstrs(), p.NumInstrs()+1)
+	}
+	after, _ := trace.Collect(trace.NewLimit(NewExecutor(q, 13), 3000), -1)
+
+	// Filter the prefetches out of the rewritten stream; the remaining
+	// sequence must be the same control-flow path with shifted addresses.
+	var filtered []isa.Instr
+	prefetches := 0
+	for _, in := range after {
+		if in.Class == isa.ClassSwPrefetch {
+			prefetches++
+			continue
+		}
+		filtered = append(filtered, in)
+	}
+	if prefetches == 0 {
+		t.Fatal("no prefetches executed")
+	}
+	n := len(filtered)
+	if len(before) < n {
+		n = len(before)
+	}
+	for i := 0; i < n; i++ {
+		if before[i].Class != filtered[i].Class || before[i].Taken != filtered[i].Taken {
+			t.Fatalf("control path diverged at %d: %v vs %v", i, before[i], filtered[i])
+		}
+		if before[i].Class.IsMem() && before[i].DataAddr != filtered[i].DataAddr {
+			t.Fatalf("data stream diverged at %d: %v vs %v", i, before[i], filtered[i])
+		}
+	}
+	// Blocks after the insertion point in the same function must shift by
+	// one instruction slot (function alignment can absorb the shift across
+	// function boundaries).
+	if q.Funcs[0].Blocks[1].Addr != p.Funcs[0].Blocks[1].Addr+isa.InstrSize {
+		t.Fatalf("insertion did not shift later blocks: %v vs %v",
+			q.Funcs[0].Blocks[1].Addr, p.Funcs[0].Blocks[1].Addr)
+	}
+}
+
+func TestInsertPrefetchErrors(t *testing.T) {
+	p := testProgram()
+	if err := p.InsertPrefetch(BlockRef{9, 0}, 0, BlockRef{0, 0}, 0); err == nil {
+		t.Fatal("accepted bad block")
+	}
+	if err := p.InsertPrefetch(BlockRef{0, 0}, 99, BlockRef{0, 0}, 0); err == nil {
+		t.Fatal("accepted bad position")
+	}
+	if err := p.InsertPrefetch(BlockRef{0, 0}, 0, BlockRef{9, 9}, 0); err == nil {
+		t.Fatal("accepted bad target")
+	}
+}
+
+func TestPrefetchTargetTracksLayout(t *testing.T) {
+	p := testProgram()
+	q := p.Clone()
+	// Prefetch in main targeting the leaf entry.
+	if err := q.InsertPrefetch(BlockRef{0, 1}, 0, BlockRef{1, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(q, 17)
+	var pfTarget isa.Addr
+	for i := 0; i < 5000; i++ {
+		in, err := e.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Class == isa.ClassSwPrefetch {
+			pfTarget = in.Target
+			break
+		}
+	}
+	if pfTarget != q.Funcs[1].Blocks[0].Addr {
+		t.Fatalf("prefetch target %v, want shifted leaf address %v", pfTarget, q.Funcs[1].Blocks[0].Addr)
+	}
+}
+
+func TestLocateRoundTripProperty(t *testing.T) {
+	p := testProgram()
+	f := func(fi8, bi8, ii8 uint8) bool {
+		fi := int(fi8) % len(p.Funcs)
+		f := p.Funcs[fi]
+		bi := int(bi8) % len(f.Blocks)
+		b := f.Blocks[bi]
+		ii := int(ii8) % b.NumInstrs()
+		ref, idx, ok := p.Locate(b.InstrPC(ii))
+		return ok && ref.Func == FuncID(fi) && ref.Block == bi && idx == ii
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsCallCycles(t *testing.T) {
+	region := Region{Base: 0x10000000, Size: 1 << 12}
+	_ = region
+	// f0 calls f1, f1 calls f0: unbounded recursion.
+	mk := func(callee FuncID) []*Block {
+		return []*Block{
+			{Body: []StaticInstr{{Class: isa.ClassALU}}, Term: Terminator{Kind: TermCall, Callee: callee}},
+			{Body: []StaticInstr{{Class: isa.ClassALU}}, Term: Terminator{Kind: TermReturn}},
+		}
+	}
+	p := &Program{Name: "cyc", Base: 0x1000, Entry: 0, Funcs: []*Func{
+		{ID: 0, Name: "a", Blocks: mk(1)},
+		{ID: 1, Name: "b", Blocks: mk(0)},
+	}}
+	p.Layout()
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted a cyclic call graph")
+	}
+	// Self-recursion is also rejected.
+	q := &Program{Name: "self", Base: 0x1000, Entry: 0, Funcs: []*Func{
+		{ID: 0, Name: "a", Blocks: mk(0)},
+	}}
+	q.Layout()
+	if err := q.Validate(); err == nil {
+		t.Fatal("accepted self-recursion")
+	}
+	// An acyclic chain stays valid.
+	r := &Program{Name: "ok", Base: 0x1000, Entry: 0, Funcs: []*Func{
+		{ID: 0, Name: "a", Blocks: mk(1)},
+		{ID: 1, Name: "b", Blocks: []*Block{
+			{Body: []StaticInstr{{Class: isa.ClassALU}}, Term: Terminator{Kind: TermReturn}},
+		}},
+	}}
+	r.Layout()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateIndirectCallCycle(t *testing.T) {
+	// A cycle through an indirect call site is caught too.
+	p := &Program{Name: "icyc", Base: 0x1000, Entry: 0, Funcs: []*Func{
+		{ID: 0, Name: "a", Blocks: []*Block{
+			{Body: []StaticInstr{{Class: isa.ClassALU}},
+				Term: Terminator{Kind: TermIndirectCall, Callees: []FuncID{1}, Weights: []float64{1}}},
+			{Body: []StaticInstr{{Class: isa.ClassALU}}, Term: Terminator{Kind: TermReturn}},
+		}},
+		{ID: 1, Name: "b", Blocks: []*Block{
+			{Body: []StaticInstr{{Class: isa.ClassALU}}, Term: Terminator{Kind: TermCall, Callee: 0}},
+			{Body: []StaticInstr{{Class: isa.ClassALU}}, Term: Terminator{Kind: TermReturn}},
+		}},
+	}}
+	p.Layout()
+	if err := p.Validate(); err == nil {
+		t.Fatal("accepted indirect call cycle")
+	}
+}

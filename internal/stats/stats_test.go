@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	if !almost(Geomean([]float64{4}), 4) {
+		t.Fatal("single")
+	}
+	if !almost(Geomean([]float64{1, 4}), 2) {
+		t.Fatalf("got %v", Geomean([]float64{1, 4}))
+	}
+	// Non-positive values are skipped, not zeroing the result.
+	if !almost(Geomean([]float64{0, 2, 8, -1}), 4) {
+		t.Fatalf("got %v", Geomean([]float64{0, 2, 8, -1}))
+	}
+	if Geomean([]float64{0, -3}) != 0 {
+		t.Fatal("all-non-positive should be 0")
+	}
+}
+
+func TestGeomeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		return g >= Min(xs)*(1-1e-9) && g <= Max(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Min(xs) != 1 || Max(xs) != 3 {
+		t.Fatalf("mean/min/max = %v %v %v", Mean(xs), Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 10 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(xs, 50) != 5 {
+		t.Fatalf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 90) != 9 {
+		t.Fatalf("p90 = %v", Percentile(xs, 90))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated (sorted copy).
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Title", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta", 2.5)
+	out := tab.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "alpha") || !strings.Contains(out, "2.500") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: every row's second column starts at the same offset.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 || !strings.HasPrefix(lines[3][idx:], "1") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableAddRowPanicsOnTooManyCells(t *testing.T) {
+	tab := NewTable("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tab.AddRow("1", "2")
+}
+
+func TestTableShortRowPads(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("only")
+	if len(tab.Rows[0]) != 2 {
+		t.Fatal("short row not padded")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := NewTable("ignored", "name", "note")
+	tab.AddRow("x", "plain")
+	tab.AddRow("y", `has,comma and "quote"`)
+	var b strings.Builder
+	if err := tab.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "name,note\nx,plain\ny,\"has,comma and \"\"quote\"\"\"\n"
+	if got != want {
+		t.Fatalf("csv:\n%q\nwant\n%q", got, want)
+	}
+}

@@ -1,0 +1,10 @@
+package trace
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// newGzip exposes a raw gzip writer to tests that need to hand-craft
+// malformed containers.
+func newGzip(w io.Writer) *gzip.Writer { return gzip.NewWriter(w) }

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"frontsim/internal/isa"
+)
+
+// FuzzReaderRobustness feeds arbitrary bytes to the trace reader: it must
+// return errors, never panic or loop.
+func FuzzReaderRobustness(f *testing.F) {
+	// Seed with a valid trace and a few mutations.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, in := range sampleInstrs() {
+		_ = w.Write(in)
+	}
+	w.Close()
+	valid := buf.Bytes()
+	f.Add(valid)
+	if len(valid) > 4 {
+		corrupted := append([]byte(nil), valid...)
+		corrupted[len(corrupted)/2] ^= 0xff
+		f.Add(corrupted)
+		f.Add(valid[:len(valid)/2])
+	}
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Bounded read: a corrupted stream must terminate with ErrEnd or
+		// an error within a sane record count.
+		for i := 0; i < 1_000_000; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+		t.Fatal("reader did not terminate on fuzzed input")
+	})
+}
+
+// FuzzCodecRoundTrip checks that any well-formed instruction sequence
+// derived from the fuzz input survives a write/read cycle bit-exactly.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(1), 10)
+	f.Add(uint64(42), 200)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n < 0 || n > 2000 {
+			return
+		}
+		want := randInstrs(seed, n)
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range want {
+			if err := w.Write(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Collect(r, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("length %d != %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzAddrLine keeps the alignment helpers honest for any address.
+func FuzzAddrLine(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(0xffffffffffffffff))
+	f.Fuzz(func(t *testing.T, a uint64) {
+		l := isa.Addr(a).Line()
+		if uint64(l)%isa.LineSize != 0 || uint64(l) > a {
+			t.Fatalf("Line(%#x) = %#x", a, uint64(l))
+		}
+	})
+}

@@ -1,0 +1,179 @@
+// Package trace provides the dynamic instruction stream abstraction the
+// simulator consumes, plus a compact binary on-disk format so synthetic
+// workloads can be generated once and replayed (the ChampSim workflow the
+// paper follows). A stream may come from a serialized trace file or be
+// produced on the fly by a program executor; both implement Source.
+package trace
+
+import (
+	"errors"
+	"io"
+
+	"frontsim/internal/isa"
+)
+
+// ErrEnd is returned by Source.Next when the stream is exhausted.
+var ErrEnd = errors.New("trace: end of stream")
+
+// Source yields dynamic instructions in program order. Implementations are
+// not required to be safe for concurrent use; every simulator instance owns
+// its source.
+type Source interface {
+	// Next returns the next dynamic instruction, or ErrEnd.
+	Next() (isa.Instr, error)
+}
+
+// Resetter is implemented by sources that can rewind to the beginning,
+// allowing one workload object to drive multiple simulation runs.
+type Resetter interface {
+	Reset()
+}
+
+// Slice is an in-memory Source over a fixed instruction sequence.
+type Slice struct {
+	instrs []isa.Instr
+	pos    int
+}
+
+// NewSlice wraps instrs (not copied) as a Source.
+func NewSlice(instrs []isa.Instr) *Slice { return &Slice{instrs: instrs} }
+
+// Next implements Source.
+func (s *Slice) Next() (isa.Instr, error) {
+	if s.pos >= len(s.instrs) {
+		return isa.Instr{}, ErrEnd
+	}
+	in := s.instrs[s.pos]
+	s.pos++
+	return in, nil
+}
+
+// Reset implements Resetter.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Len returns the total number of instructions in the slice.
+func (s *Slice) Len() int { return len(s.instrs) }
+
+// Limit wraps a Source and stops after n instructions. It is used to run
+// the paper's fixed-instruction-count simulations over unbounded executors.
+type Limit struct {
+	src  Source
+	n    int64
+	seen int64
+}
+
+// NewLimit returns a Source that yields at most n instructions from src.
+func NewLimit(src Source, n int64) *Limit { return &Limit{src: src, n: n} }
+
+// Next implements Source.
+func (l *Limit) Next() (isa.Instr, error) {
+	if l.seen >= l.n {
+		return isa.Instr{}, ErrEnd
+	}
+	in, err := l.src.Next()
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	l.seen++
+	return in, nil
+}
+
+// Reset implements Resetter when the underlying source does.
+func (l *Limit) Reset() {
+	l.seen = 0
+	if r, ok := l.src.(Resetter); ok {
+		r.Reset()
+	}
+}
+
+// Collect drains up to max instructions from src into a slice. max < 0
+// drains everything.
+func Collect(src Source, max int64) ([]isa.Instr, error) {
+	var out []isa.Instr
+	for max < 0 || int64(len(out)) < max {
+		in, err := src.Next()
+		if errors.Is(err, ErrEnd) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// Copy streams src into w until the source ends, returning the instruction
+// count written.
+func Copy(w *Writer, src Source) (int64, error) {
+	var n int64
+	for {
+		in, err := src.Next()
+		if errors.Is(err, ErrEnd) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.Write(in); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Stats summarizes a stream's composition; used by workload tuning tests
+// and the tracegen tool's report.
+type Stats struct {
+	Instructions int64
+	ByClass      [isa.NumClasses]int64
+	TakenBranch  int64
+	// UniqueLines is the number of distinct instruction cache lines touched
+	// (the instruction footprint in 64-byte lines).
+	UniqueLines int
+}
+
+// Footprint returns the instruction footprint in bytes.
+func (s *Stats) Footprint() int64 { return int64(s.UniqueLines) * isa.LineSize }
+
+// BranchFraction returns the fraction of instructions that are branches.
+func (s *Stats) BranchFraction() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	var b int64
+	for c := 0; c < isa.NumClasses; c++ {
+		if isa.Class(c).IsBranch() {
+			b += s.ByClass[c]
+		}
+	}
+	return float64(b) / float64(s.Instructions)
+}
+
+// Measure consumes src and accumulates statistics.
+func Measure(src Source) (Stats, error) {
+	var st Stats
+	lines := make(map[uint64]struct{})
+	for {
+		in, err := src.Next()
+		if errors.Is(err, ErrEnd) {
+			st.UniqueLines = len(lines)
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		st.Instructions++
+		st.ByClass[in.Class]++
+		if in.Class.IsBranch() && in.Taken {
+			st.TakenBranch++
+		}
+		lines[in.PC.LineIndex()] = struct{}{}
+	}
+}
+
+// readFull is a tiny helper shared by the codec.
+func readFull(r io.Reader, buf []byte) error {
+	_, err := io.ReadFull(r, buf)
+	return err
+}

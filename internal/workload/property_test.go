@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"frontsim/internal/isa"
+	"frontsim/internal/trace"
+	"frontsim/internal/xrand"
+)
+
+// randomSpec derives a structurally valid Spec from a seed, spanning the
+// generator's parameter space more broadly than the tuned suite does.
+func randomSpec(seed uint64) Spec {
+	r := xrand.New(seed)
+	band := func(lo, hi float64) float64 { return lo + (hi-lo)*r.Float64() }
+	s := Spec{
+		Name:           "prop",
+		Category:       Category(r.Intn(3)),
+		Seed:           seed,
+		Funcs:          20 + r.Intn(400),
+		Levels:         1 + r.Intn(5),
+		Dispatchers:    1 + r.Intn(4),
+		DispatchFanout: 1 + r.Intn(32),
+		BlocksPerFunc:  2 + r.Intn(14),
+		BodyLenMean:    band(1, 7),
+		LoopFrac:       band(0, 0.3),
+		CondFrac:       band(0, 0.35),
+		CallFrac:       band(0, 0.2),
+		JumpFrac:       band(0, 0.05),
+		IndJumpFrac:    band(0, 0.04),
+		IndCallFrac:    band(0, 0.04),
+		LoopTripMean:   band(1, 40),
+		BulkyFrac:      band(0, 0.6),
+		Stickiness:     band(0, 0.95),
+		CalleeSkew:     band(0, 1.3),
+		LoadFrac:       band(0.05, 0.3),
+		StoreFrac:      band(0.02, 0.12),
+		MulFrac:        band(0, 0.08),
+		HotDataBytes:   1 << 14,
+		WarmDataBytes:  1 << 18,
+		ColdDataBytes:  1 << 22,
+	}
+	if s.Funcs-1 < s.Levels {
+		s.Levels = s.Funcs - 1
+	}
+	return s
+}
+
+// TestRandomSpecsGenerateValidPrograms is the generator's structural
+// property test: any in-range parameter combination must yield a program
+// that validates and executes as a continuous dynamic path.
+func TestRandomSpecsGenerateValidPrograms(t *testing.T) {
+	check := func(seed uint64) bool {
+		s := randomSpec(seed)
+		if err := s.Validate(); err != nil {
+			t.Logf("seed %d: spec invalid: %v", seed, err)
+			return false
+		}
+		p, err := s.Build()
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		src, err := s.NewSource()
+		if err != nil {
+			t.Logf("seed %d: source: %v", seed, err)
+			return false
+		}
+		// Continuity: every instruction follows from the previous one.
+		var prev *isa.Instr
+		for i := 0; i < 20_000; i++ {
+			in, err := src.Next()
+			if err != nil {
+				t.Logf("seed %d: stream ended early: %v", seed, err)
+				return false
+			}
+			if prev != nil && in.PC != prev.NextPC() {
+				t.Logf("seed %d: discontinuity at %d: %v -> %v", seed, i, prev, in)
+				return false
+			}
+			// Every PC resolves inside the program.
+			if _, _, ok := p.Locate(in.PC); !ok {
+				t.Logf("seed %d: PC %v outside program", seed, in.PC)
+				return false
+			}
+			cp := in
+			prev = &cp
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomSpecsReplayExactly verifies determinism holds across the whole
+// parameter space, not just the tuned suite.
+func TestRandomSpecsReplayExactly(t *testing.T) {
+	check := func(seed uint64) bool {
+		s := randomSpec(seed)
+		a, err := s.NewSource()
+		if err != nil {
+			return false
+		}
+		b, err := s.NewSource()
+		if err != nil {
+			return false
+		}
+		x, _ := trace.Collect(trace.NewLimit(a, 5_000), -1)
+		y, _ := trace.Collect(trace.NewLimit(b, 5_000), -1)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

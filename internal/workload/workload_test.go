@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"testing"
+
+	"frontsim/internal/isa"
+	"frontsim/internal/trace"
+)
+
+func TestSuiteHas48UniqueNames(t *testing.T) {
+	names := Names()
+	if len(names) != Count || Count != 48 {
+		t.Fatalf("suite has %d names", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCategoryInference(t *testing.T) {
+	cases := map[string]Category{
+		"secret_crypto52": Crypto,
+		"secret_int_124":  Integer,
+		"secret_srv12":    Server,
+		"public_srv_60":   Server,
+	}
+	for name, want := range cases {
+		s, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if s.Category != want {
+			t.Errorf("%s category %v, want %v", name, s.Category, want)
+		}
+	}
+	if _, ok := Lookup("nonexistent"); ok {
+		t.Fatal("Lookup accepted unknown name")
+	}
+}
+
+func TestByIndex(t *testing.T) {
+	s, err := ByIndex(1)
+	if err != nil || s.Name != "public_srv_60" {
+		t.Fatalf("ByIndex(1) = %v, %v", s.Name, err)
+	}
+	s, err = ByIndex(48)
+	if err != nil || s.Name != "secret_srv85" {
+		t.Fatalf("ByIndex(48) = %v, %v", s.Name, err)
+	}
+	if _, err := ByIndex(0); err == nil {
+		t.Fatal("ByIndex(0) accepted")
+	}
+	if _, err := ByIndex(49); err == nil {
+		t.Fatal("ByIndex(49) accepted")
+	}
+}
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSpecValidateRejectsBad(t *testing.T) {
+	good, _ := Lookup("secret_crypto52")
+	muts := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Funcs = 1 },
+		func(s *Spec) { s.Levels = 0 },
+		func(s *Spec) { s.Dispatchers = 0 },
+		func(s *Spec) { s.BlocksPerFunc = 1 },
+		func(s *Spec) { s.BodyLenMean = 0 },
+		func(s *Spec) { s.BodyLenMean = 9 },
+		func(s *Spec) { s.LoopFrac = 0.9; s.CondFrac = 0.9 },
+		func(s *Spec) { s.LoopTripMean = 0 },
+		func(s *Spec) { s.LoadFrac = 0.9; s.StoreFrac = 0.9 },
+		func(s *Spec) { s.HotDataBytes = 0 },
+	}
+	for i, m := range muts {
+		s := good
+		m(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	s, _ := Lookup("secret_crypto52")
+	p1, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NumInstrs() != p2.NumInstrs() || p1.StaticBytes() != p2.StaticBytes() {
+		t.Fatalf("non-deterministic build: %d/%d vs %d/%d",
+			p1.NumInstrs(), p1.StaticBytes(), p2.NumInstrs(), p2.StaticBytes())
+	}
+}
+
+func TestSourceIsDeterministic(t *testing.T) {
+	s, _ := Lookup("secret_int_44")
+	src1, err := s.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, _ := s.NewSource()
+	a, _ := trace.Collect(trace.NewLimit(src1, 20000), -1)
+	b, _ := trace.Collect(trace.NewLimit(src2, 20000), -1)
+	if len(a) != 20000 || len(b) != 20000 {
+		t.Fatalf("streams short: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestFootprintBands(t *testing.T) {
+	// Static code footprints must land in the per-category bands that
+	// produce the paper's MPKI spread.
+	type band struct{ lo, hi int64 }
+	bands := map[Category]band{
+		Crypto:  {32 << 10, 640 << 10},
+		Integer: {512 << 10, 8 << 20},
+		Server:  {1500 << 10, 32 << 20},
+	}
+	for _, name := range []string{"secret_crypto52", "secret_int_44", "secret_srv12"} {
+		s, _ := Lookup(name)
+		p, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := int64(p.StaticBytes())
+		b := bands[s.Category]
+		if fp < b.lo || fp > b.hi {
+			t.Errorf("%s footprint %d KiB outside [%d,%d] KiB",
+				name, fp>>10, b.lo>>10, b.hi>>10)
+		}
+	}
+}
+
+func TestStreamComposition(t *testing.T) {
+	s, _ := Lookup("secret_srv12")
+	src, err := s.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.Measure(trace.NewLimit(src, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != 100000 {
+		t.Fatalf("stream ended early: %d", st.Instructions)
+	}
+	bf := st.BranchFraction()
+	if bf < 0.10 || bf > 0.40 {
+		t.Errorf("branch fraction %v outside [0.10,0.40]", bf)
+	}
+	if st.ByClass[isa.ClassLoad] == 0 || st.ByClass[isa.ClassStore] == 0 {
+		t.Error("no memory instructions in stream")
+	}
+	if st.ByClass[isa.ClassCall] == 0 || st.ByClass[isa.ClassReturn] == 0 {
+		t.Error("no call/return in stream")
+	}
+	if st.ByClass[isa.ClassIndirectCall] == 0 {
+		t.Error("no indirect calls in stream")
+	}
+	// Calls and returns must balance within the live call depth.
+	diff := st.ByClass[isa.ClassCall] + st.ByClass[isa.ClassIndirectCall] - st.ByClass[isa.ClassReturn]
+	if diff < 0 || diff > 1024 {
+		t.Errorf("call/return imbalance %d", diff)
+	}
+}
+
+func TestDistinctWorkloadsDiffer(t *testing.T) {
+	a, _ := Lookup("secret_srv12")
+	b, _ := Lookup("secret_srv128")
+	pa, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.NumInstrs() == pb.NumInstrs() {
+		t.Error("suspiciously identical instruction counts")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for _, c := range []Category{Crypto, Integer, Server, Category(9)} {
+		if c.String() == "" {
+			t.Error("empty category name")
+		}
+	}
+}
+
+func TestSeedStability(t *testing.T) {
+	// Seeds are part of the reproducibility contract: a rename-level
+	// change must not silently re-tune the suite.
+	if seedOf("secret_srv12") == seedOf("secret_srv128") {
+		t.Fatal("seed collision")
+	}
+	if seedOf("secret_srv12") != seedOf("secret_srv12") {
+		t.Fatal("unstable seed")
+	}
+}

