@@ -20,6 +20,7 @@ import (
 	"frontsim/internal/hwpf"
 	"frontsim/internal/preload"
 	"frontsim/internal/program"
+	"frontsim/internal/runner"
 	"frontsim/internal/stats"
 	"frontsim/internal/trace"
 	"frontsim/internal/workload"
@@ -53,9 +54,14 @@ func benchSpecs() []workload.Spec {
 	return out
 }
 
-func runSuite(b *testing.B) []*experiment.Matrix {
+// runSuite regenerates the benchmark sub-suite, optionally through a run
+// cache — pass nil for the always-cold path the figure benchmarks use, or
+// a runner.Cache to measure cold/warm cache behavior.
+func runSuite(b *testing.B, c *runner.Cache) []*experiment.Matrix {
 	b.Helper()
-	ms, err := experiment.RunSuite(benchSpecs(), benchParams(), nil)
+	p := benchParams()
+	p.Cache = c
+	ms, err := experiment.RunSuite(benchSpecs(), p, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -92,7 +98,7 @@ func BenchmarkTable1Config(b *testing.B) {
 func BenchmarkFigure1IPC(b *testing.B) {
 	var ms []*experiment.Matrix
 	for i := 0; i < b.N; i++ {
-		ms = runSuite(b)
+		ms = runSuite(b, nil)
 	}
 	b.ReportMetric(stats.Geomean(speedups(ms, func(m *experiment.Matrix) core.Stats { return m.AsmdbCons })), "asmdb")
 	b.ReportMetric(stats.Geomean(speedups(ms, func(m *experiment.Matrix) core.Stats { return m.AsmdbConsIdeal })), "asmdb-ideal")
@@ -107,7 +113,7 @@ func BenchmarkFigure1IPC(b *testing.B) {
 func BenchmarkFigure7Bloat(b *testing.B) {
 	var ms []*experiment.Matrix
 	for i := 0; i < b.N; i++ {
-		ms = runSuite(b)
+		ms = runSuite(b, nil)
 	}
 	var static, dynamic []float64
 	for _, m := range ms {
@@ -123,7 +129,7 @@ func BenchmarkFigure7Bloat(b *testing.B) {
 func BenchmarkFigure8FetchLatency(b *testing.B) {
 	var ms []*experiment.Matrix
 	for i := 0; i < b.N; i++ {
-		ms = runSuite(b)
+		ms = runSuite(b, nil)
 	}
 	mean := func(f func(*experiment.Matrix) float64) float64 {
 		var xs []float64
@@ -164,7 +170,7 @@ func stallMetric(b *testing.B, ms []*experiment.Matrix, metric func(core.Stats) 
 func BenchmarkFigure9HeadStalls(b *testing.B) {
 	var ms []*experiment.Matrix
 	for i := 0; i < b.N; i++ {
-		ms = runSuite(b)
+		ms = runSuite(b, nil)
 	}
 	stallMetric(b, ms, func(st core.Stats) int64 { return st.FTQ.HeadStallCycles })
 }
@@ -174,7 +180,7 @@ func BenchmarkFigure9HeadStalls(b *testing.B) {
 func BenchmarkFigure10Waiting(b *testing.B) {
 	var ms []*experiment.Matrix
 	for i := 0; i < b.N; i++ {
-		ms = runSuite(b)
+		ms = runSuite(b, nil)
 	}
 	stallMetric(b, ms, func(st core.Stats) int64 { return st.FTQ.WaitingEntryCycles })
 }
@@ -184,7 +190,7 @@ func BenchmarkFigure10Waiting(b *testing.B) {
 func BenchmarkFigure11Partial(b *testing.B) {
 	var ms []*experiment.Matrix
 	for i := 0; i < b.N; i++ {
-		ms = runSuite(b)
+		ms = runSuite(b, nil)
 	}
 	stallMetric(b, ms, func(st core.Stats) int64 { return st.FTQ.PartialEntries })
 }
@@ -194,7 +200,7 @@ func BenchmarkFigure11Partial(b *testing.B) {
 func BenchmarkMethodologyMPKI(b *testing.B) {
 	var ms []*experiment.Matrix
 	for i := 0; i < b.N; i++ {
-		ms = runSuite(b)
+		ms = runSuite(b, nil)
 	}
 	var mpki []float64
 	for _, m := range ms {
@@ -210,7 +216,7 @@ func BenchmarkMethodologyMPKI(b *testing.B) {
 func BenchmarkL1IAccessReduction(b *testing.B) {
 	var ms []*experiment.Matrix
 	for i := 0; i < b.N; i++ {
-		ms = runSuite(b)
+		ms = runSuite(b, nil)
 	}
 	var reductions []float64
 	for _, m := range ms {
@@ -328,6 +334,43 @@ func BenchmarkAblationFrontend(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSuiteColdCache measures a from-scratch suite regeneration with
+// the run cache enabled but empty: the first-iteration cost a user pays
+// before warm re-runs kick in. Each iteration gets a fresh cache
+// directory so every run stays cold.
+func BenchmarkSuiteColdCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := runner.OpenCache(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		runSuite(b, c)
+	}
+}
+
+// BenchmarkSuiteWarmCache primes the cache once outside the timer, then
+// measures fully-warm regenerations — the fast-iteration number quoted in
+// EXPERIMENTS.md. Compare against BenchmarkSuiteColdCache.
+func BenchmarkSuiteWarmCache(b *testing.B) {
+	c, err := runner.OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	runSuite(b, c) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSuite(b, c)
+	}
+	b.StopTimer()
+	m := c.Metrics()
+	if m.Misses > int64(m.Puts) { // only the priming run may miss
+		b.Fatalf("warm iterations missed the cache: %+v", m)
+	}
+	b.ReportMetric(float64(m.Hits)/float64(b.N), "cache-hits/op")
 }
 
 // BenchmarkSimThroughput measures raw simulator speed (instructions per

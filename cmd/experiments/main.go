@@ -9,6 +9,9 @@
 //	experiments -ablation ftq           # the FTQ-depth sweep
 //	experiments -instrs 4000000 -n 12   # larger runs, first 12 workloads
 //	experiments -csv out/               # additionally write CSV per figure
+//	experiments -jobs 8                 # bound the work-stealing pool
+//	experiments -cache results/cache    # reuse cached runs (the default)
+//	experiments -no-cache               # force every run cold
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"frontsim/internal/experiment"
+	"frontsim/internal/runner"
 	"frontsim/internal/stats"
 	"frontsim/internal/workload"
 )
@@ -34,9 +38,12 @@ func main() {
 		instrs   = flag.Int64("instrs", 1_500_000, "measured instructions per run")
 		warmup   = flag.Int64("warmup", 500_000, "warmup instructions per run")
 		profile  = flag.Int64("profile", 2_000_000, "AsmDB profiling instructions")
-		par      = flag.Int("par", 0, "parallel workloads (0 = GOMAXPROCS)")
+		par      = flag.Int("par", 0, "parallel jobs (0 = GOMAXPROCS); alias of -jobs")
+		jobs     = flag.Int("jobs", 0, "work-stealing pool workers (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache", filepath.Join("results", "cache"), "run-cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the run cache (every run cold)")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
-		quiet    = flag.Bool("quiet", false, "suppress per-workload progress")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -45,6 +52,23 @@ func main() {
 	p.WarmupInstrs = *warmup
 	p.ProfileInstrs = *profile
 	p.Parallelism = *par
+	if *jobs != 0 {
+		p.Parallelism = *jobs
+	}
+	if !*noCache {
+		c, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: open cache:", err)
+			os.Exit(1)
+		}
+		p.Cache = c
+		defer func() {
+			if m := c.Metrics(); !*quiet && m.Hits+m.Misses > 0 {
+				fmt.Fprintf(os.Stderr, "run cache: %d hits, %d misses, %d stored (%s)\n",
+					m.Hits, m.Misses, m.Puts, c.Dir())
+			}
+		}()
+	}
 
 	if err := run(*figure, *table, *ablation, *ext, *n, p, *csvDir, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -171,11 +195,12 @@ func run(figure, table int, ablation, ext string, n int, p experiment.Params, cs
 	}
 
 	progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
+	jobProgress := func(s string) { fmt.Fprintln(os.Stderr, s) }
 	if quiet {
-		progress = nil
+		progress, jobProgress = nil, nil
 	}
 	start := time.Now()
-	ms, err := experiment.RunSuite(specs, p, progress)
+	ms, err := experiment.RunSuiteMonitor(specs, p, progress, jobProgress)
 	if err != nil {
 		return err
 	}

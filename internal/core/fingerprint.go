@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"frontsim/internal/frontend"
+	"frontsim/internal/isa"
+)
+
+// FingerprintSchema versions the canonical serialized form of Config. Bump
+// it whenever Config's shape or the simulator's cycle-level semantics
+// change, so stale run-cache entries (internal/runner) stop matching.
+const FingerprintSchema = 1
+
+// PrefetchFingerprinter lets an attached hardware prefetcher contribute a
+// stable identity to Config.Fingerprint. Prefetchers are constructed fresh
+// per run, so the fingerprint must cover their configuration, not learned
+// state. Prefetchers that do not implement it hash as an opaque type name,
+// which is stable within a build but does not distinguish differently
+// configured instances — such configs must not be cached.
+type PrefetchFingerprinter interface {
+	PrefetchFingerprint() string
+}
+
+// triggerFingerprint is one Triggers entry in canonical (site-sorted)
+// order. Target order within a site is preserved: the front-end fires
+// trigger prefetches in slice order, so it is semantically meaningful.
+type triggerFingerprint struct {
+	Site    isa.Addr   `json:"site"`
+	Targets []isa.Addr `json:"targets"`
+}
+
+// configFingerprint is the canonical serialized form Fingerprint hashes.
+type configFingerprint struct {
+	Schema     int                  `json:"schema"`
+	Config     Config               `json:"config"` // Prefetcher and Triggers zeroed
+	Prefetcher string               `json:"prefetcher"`
+	Triggers   []triggerFingerprint `json:"triggers"`
+}
+
+// Fingerprint returns a stable content hash of the whole-machine
+// configuration: equal fingerprints mean bit-identical simulation given
+// the same instruction source. It is the config half of the run-cache key.
+func (c Config) Fingerprint() string {
+	shadow := c
+	shadow.Frontend.Prefetcher = nil
+	shadow.Triggers = nil
+	fp := configFingerprint{
+		Schema:     FingerprintSchema,
+		Config:     shadow,
+		Prefetcher: prefetcherFingerprint(c.Frontend.Prefetcher),
+		Triggers:   canonicalTriggers(c.Triggers),
+	}
+	b, err := json.Marshal(fp)
+	if err != nil {
+		// Config holds only plain data once the interface field is
+		// cleared; Marshal cannot fail on it.
+		panic(fmt.Sprintf("core: fingerprinting config: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func prefetcherFingerprint(p frontend.InstrPrefetcher) string {
+	if p == nil {
+		return ""
+	}
+	if f, ok := p.(PrefetchFingerprinter); ok {
+		return f.PrefetchFingerprint()
+	}
+	return fmt.Sprintf("opaque:%T", p)
+}
+
+func canonicalTriggers(m map[isa.Addr][]isa.Addr) []triggerFingerprint {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]triggerFingerprint, 0, len(m))
+	for site, targets := range m {
+		out = append(out, triggerFingerprint{Site: site, Targets: targets})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// CanonicalJSON returns the stable serialized form of the snapshot — the
+// run-cache value format. encoding/json renders float64 in the shortest
+// exactly-round-tripping form, so decode(encode(s)) is bit-identical.
+func (s Stats) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// StatsFromJSON decodes a snapshot written by CanonicalJSON. Unknown
+// fields are rejected so schema drift surfaces as an error instead of a
+// silently truncated snapshot.
+func StatsFromJSON(b []byte) (Stats, error) {
+	var s Stats
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Stats{}, fmt.Errorf("core: decoding stats: %w", err)
+	}
+	return s, nil
+}

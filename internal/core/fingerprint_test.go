@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"frontsim/internal/isa"
+)
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	a := DefaultConfig().Fingerprint()
+	if a != DefaultConfig().Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if len(a) != 64 {
+		t.Fatalf("fingerprint length %d", len(a))
+	}
+	if ConservativeConfig().Fingerprint() == a {
+		t.Fatal("conservative and industry configs share a fingerprint")
+	}
+	c := DefaultConfig()
+	c.MaxInstrs++
+	if c.Fingerprint() == a {
+		t.Fatal("instruction budget not captured")
+	}
+	c = DefaultConfig()
+	c.Frontend.FTQEntries = 2
+	if c.Fingerprint() == a {
+		t.Fatal("FTQ depth not captured")
+	}
+}
+
+func TestFingerprintTriggersOrderIndependent(t *testing.T) {
+	mk := func(order []isa.Addr) string {
+		c := DefaultConfig()
+		c.Triggers = make(map[isa.Addr][]isa.Addr)
+		for _, site := range order {
+			c.Triggers[site] = []isa.Addr{site + 1, site + 2}
+		}
+		return c.Fingerprint()
+	}
+	sites := []isa.Addr{0x1000, 0x2000, 0x3000}
+	rev := []isa.Addr{0x3000, 0x2000, 0x1000}
+	if mk(sites) != mk(rev) {
+		t.Fatal("trigger map insertion order leaked into the fingerprint")
+	}
+	// But target order within a site is load-bearing (fire order) and must
+	// be captured.
+	c := DefaultConfig()
+	c.Triggers = map[isa.Addr][]isa.Addr{0x1000: {0x2000, 0x3000}}
+	d := DefaultConfig()
+	d.Triggers = map[isa.Addr][]isa.Addr{0x1000: {0x3000, 0x2000}}
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Fatal("target order not captured")
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	s := Stats{Config: "fdp24", Cycles: 123456, Instructions: 654321, SwPrefetchInstrs: 42}
+	s.FTQ.HeadStallCycles = 999
+	s.L1I.Accesses = 1 << 40
+	s.L1I.Misses = 7
+	s.BPU.CondBranches = 1000
+	s.BPU.CondMispredicts = 31
+	s.DRAMQueueing = 5
+
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := StatsFromJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", got, s)
+	}
+	if got.Summary() != s.Summary() {
+		t.Fatal("summaries differ after round trip")
+	}
+	// Schema drift must be loud: an unknown field fails the decode.
+	if _, err := StatsFromJSON([]byte(`{"Cycles": 1, "NoSuchField": 2}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// FuzzConfigFingerprint drives the canonical hashing with arbitrary field
+// mutations and checks its two invariants: hashing is deterministic, and
+// the trigger map's canonical form is independent of insertion order.
+func FuzzConfigFingerprint(f *testing.F) {
+	f.Add(int64(24), int64(2_000_000), uint64(0x40cafe), uint8(3))
+	f.Add(int64(2), int64(1), uint64(0), uint8(0))
+	f.Add(int64(-5), int64(-1), uint64(1<<63), uint8(255))
+	f.Fuzz(func(t *testing.T, ftq int64, budget int64, site uint64, nTrig uint8) {
+		c := DefaultConfig()
+		c.Frontend.FTQEntries = int(ftq)
+		c.MaxInstrs = budget
+		c.Triggers = make(map[isa.Addr][]isa.Addr)
+		d := DefaultConfig()
+		d.Frontend.FTQEntries = int(ftq)
+		d.MaxInstrs = budget
+		d.Triggers = make(map[isa.Addr][]isa.Addr)
+
+		// Same logical trigger set, inserted in opposite orders.
+		n := int(nTrig%16) + 1
+		var seq [8]byte
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(seq[:], site+uint64(i))
+			s := isa.Addr(binary.LittleEndian.Uint64(seq[:]))
+			c.Triggers[s] = []isa.Addr{s ^ 0xff, s + 64}
+		}
+		for i := n - 1; i >= 0; i-- {
+			s := isa.Addr(site + uint64(i))
+			d.Triggers[s] = []isa.Addr{s ^ 0xff, s + 64}
+		}
+
+		fc, fd := c.Fingerprint(), d.Fingerprint()
+		if fc != c.Fingerprint() {
+			t.Fatal("fingerprint not deterministic")
+		}
+		if fc != fd {
+			t.Fatalf("insertion order changed fingerprint: %s vs %s", fc, fd)
+		}
+		// A disjoint budget must produce a different hash.
+		c.MaxInstrs = budget + 1
+		if c.Fingerprint() == fc {
+			t.Fatal("budget change not captured")
+		}
+	})
+}

@@ -8,16 +8,90 @@ import (
 	"frontsim/internal/cfg"
 	"frontsim/internal/core"
 	"frontsim/internal/program"
+	"frontsim/internal/runner"
 	"frontsim/internal/stats"
 	"frontsim/internal/trace"
 	"frontsim/internal/workload"
 )
 
+// baseSimKey is the cache identity of a run of cfg against the workload's
+// unmodified program.
+func baseSimKey(spec workload.Spec, p Params, c core.Config) simKey {
+	return simKey{Schema: cacheSchema, Kind: "sim", Workload: spec,
+		Program: progBase, Config: c.Fingerprint(), ExecSeed: spec.Seed ^ p.ExecSeedSalt}
+}
+
+// runCachedSim executes one configuration against prog, consulting and
+// filling p.Cache under key. This is the single execution path every
+// ablation cell shares with the suite's matrix jobs.
+func runCachedSim(p Params, key simKey, c core.Config, prog *program.Program) (core.Stats, error) {
+	var st core.Stats
+	if ok, err := p.Cache.Get(key, &st); err != nil {
+		return st, err
+	} else if ok {
+		return st, nil
+	}
+	st, err := core.RunSource(c, program.NewExecutor(prog, key.ExecSeed))
+	if err != nil {
+		return st, err
+	}
+	return st, p.Cache.Put(key, st)
+}
+
+// sweep runs one configuration grid — cells[si][ci] for spec si and
+// configuration ci — through the runner pool, building each spec's program
+// once and fanning its cells out as stealable jobs. mkCfg must be pure: it
+// is called once per cell on an arbitrary worker.
+func sweep(specs []workload.Spec, nCfg int, p Params, mkCfg func(spec workload.Spec, ci int) core.Config) ([][]core.Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pool := runner.NewPool(p.Parallelism)
+	defer pool.Close()
+	out := make([][]core.Stats, len(specs))
+	g := pool.NewGroup()
+	for si, spec := range specs {
+		si, spec := si, spec
+		out[si] = make([]core.Stats, nCfg)
+		g.Go(func() error {
+			prog, err := spec.Build()
+			if err != nil {
+				return err
+			}
+			sub := pool.NewGroup()
+			for ci := 0; ci < nCfg; ci++ {
+				ci := ci
+				sub.Go(func() error {
+					c := mkCfg(spec, ci)
+					st, err := runCachedSim(p, baseSimKey(spec, p, c), c, prog)
+					if err != nil {
+						return fmt.Errorf("%s cell %d: %w", spec.Name, ci, err)
+					}
+					out[si][ci] = st
+					return nil
+				})
+			}
+			return sub.Wait()
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // AblationFTQDepth sweeps the FTQ depth between the paper's conservative
 // and industry-standard endpoints and beyond, reporting IPC speedup over
 // depth 2 for each workload.
 func AblationFTQDepth(specs []workload.Spec, depths []int, p Params) (*stats.Table, error) {
-	if err := p.Validate(); err != nil {
+	res, err := sweep(specs, len(depths), p, func(spec workload.Spec, ci int) core.Config {
+		c := core.DefaultConfig()
+		c.Name = fmt.Sprintf("ftq%d", depths[ci])
+		c.Frontend.FTQEntries = depths[ci]
+		c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+		return c
+	})
+	if err != nil {
 		return nil, err
 	}
 	cols := []string{"workload"}
@@ -25,30 +99,14 @@ func AblationFTQDepth(specs []workload.Spec, depths []int, p Params) (*stats.Tab
 		cols = append(cols, fmt.Sprintf("ftq=%d", d))
 	}
 	t := stats.NewTable("Ablation A1: IPC speedup vs FTQ depth (over depth 2)", cols...)
-
 	geo := make([][]float64, len(depths))
-	for _, spec := range specs {
-		prog, err := spec.Build()
-		if err != nil {
-			return nil, err
-		}
-		var base float64
+	for si, spec := range specs {
+		base := res[si][0].IPC()
 		row := []string{spec.Name}
-		for di, d := range depths {
-			c := core.DefaultConfig()
-			c.Name = fmt.Sprintf("ftq%d", d)
-			c.Frontend.FTQEntries = d
-			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
-			st, err := core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
-			if err != nil {
-				return nil, fmt.Errorf("%s ftq=%d: %w", spec.Name, d, err)
-			}
-			if di == 0 {
-				base = st.IPC()
-			}
+		for di := range depths {
 			sp := 0.0
 			if base > 0 {
-				sp = st.IPC() / base
+				sp = res[si][di].IPC() / base
 			}
 			geo[di] = append(geo[di], sp)
 			row = append(row, fmt.Sprintf("%.3f", sp))
@@ -65,9 +123,84 @@ func AblationFTQDepth(specs []workload.Spec, depths []int, p Params) (*stats.Tab
 
 // AblationFanout sweeps AsmDB's fanout threshold on the industry-standard
 // front-end: lower thresholds raise coverage (and bloat) at lower accuracy
-// (paper §II-B2).
+// (paper §II-B2). Each workload profiles once; the per-threshold plan,
+// rewrite, and run then fan out as jobs.
 func AblationFanout(specs []workload.Spec, thresholds []float64, p Params) (*stats.Table, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		speedup, bloat float64
+	}
+	res := make([][]cell, len(specs))
+	pool := runner.NewPool(p.Parallelism)
+	defer pool.Close()
+	g := pool.NewGroup()
+	for si, spec := range specs {
+		si, spec := si, spec
+		res[si] = make([]cell, len(thresholds))
+		g.Go(func() error {
+			prog, err := spec.Build()
+			if err != nil {
+				return err
+			}
+			mk := func() core.Config {
+				c := core.DefaultConfig()
+				c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+				return c
+			}
+			base, err := runCachedSim(p, baseSimKey(spec, p, mk()), mk(), prog)
+			if err != nil {
+				return err
+			}
+			seed := spec.Seed ^ p.ExecSeedSalt
+			graph, err := cfg.Profile(trace.NewLimit(program.NewExecutor(prog, seed), p.ProfileInstrs), cfg.Options{IPC: base.IPC()})
+			if err != nil {
+				return err
+			}
+			fdpFP := mk().Fingerprint()
+			sub := pool.NewGroup()
+			for ti, th := range thresholds {
+				ti, th := ti, th
+				sub.Go(func() error {
+					opts := p.AsmDB
+					opts.FanoutThreshold = th
+					key := baseSimKey(spec, p, mk())
+					key.Program = progAsmdb
+					key.AsmDB = &opts
+					key.ProfileInstrs = p.ProfileInstrs
+					key.ProfileConfig = fdpFP
+					var st core.Stats
+					if ok, err := p.Cache.Get(key, &st); err != nil {
+						return err
+					} else if !ok {
+						plan, err := asmdb.Build(graph, opts)
+						if err != nil {
+							return err
+						}
+						rw, _, err := asmdb.Apply(prog, plan)
+						if err != nil {
+							return err
+						}
+						if st, err = core.RunSource(mk(), program.NewExecutor(rw, seed)); err != nil {
+							return err
+						}
+						if err := p.Cache.Put(key, st); err != nil {
+							return err
+						}
+					}
+					sp := 0.0
+					if base.IPC() > 0 {
+						sp = st.IPC() / base.IPC()
+					}
+					res[si][ti] = cell{speedup: sp, bloat: 100 * st.DynamicBloat()}
+					return nil
+				})
+			}
+			return sub.Wait()
+		})
+	}
+	if err := g.Wait(); err != nil {
 		return nil, err
 	}
 	cols := []string{"workload"}
@@ -75,47 +208,10 @@ func AblationFanout(specs []workload.Spec, thresholds []float64, p Params) (*sta
 		cols = append(cols, fmt.Sprintf("fan=%.2f", th), fmt.Sprintf("bloat@%.2f%%", th))
 	}
 	t := stats.NewTable("Ablation A2: AsmDB fanout threshold on FDP-24 (speedup over FDP-24, dynamic bloat)", cols...)
-
-	for _, spec := range specs {
-		prog, err := spec.Build()
-		if err != nil {
-			return nil, err
-		}
-		seed := spec.Seed ^ p.ExecSeedSalt
-		mk := func() core.Config {
-			c := core.DefaultConfig()
-			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
-			return c
-		}
-		base, err := core.RunSource(mk(), program.NewExecutor(prog, seed))
-		if err != nil {
-			return nil, err
-		}
-		graph, err := cfg.Profile(trace.NewLimit(program.NewExecutor(prog, seed), p.ProfileInstrs), cfg.Options{IPC: base.IPC()})
-		if err != nil {
-			return nil, err
-		}
+	for si, spec := range specs {
 		row := []string{spec.Name}
-		for _, th := range thresholds {
-			opts := p.AsmDB
-			opts.FanoutThreshold = th
-			plan, err := asmdb.Build(graph, opts)
-			if err != nil {
-				return nil, err
-			}
-			rw, _, err := asmdb.Apply(prog, plan)
-			if err != nil {
-				return nil, err
-			}
-			st, err := core.RunSource(mk(), program.NewExecutor(rw, seed))
-			if err != nil {
-				return nil, err
-			}
-			sp := 0.0
-			if base.IPC() > 0 {
-				sp = st.IPC() / base.IPC()
-			}
-			row = append(row, fmt.Sprintf("%.3f", sp), fmt.Sprintf("%.1f", 100*st.DynamicBloat()))
+		for ti := range thresholds {
+			row = append(row, fmt.Sprintf("%.3f", res[si][ti].speedup), fmt.Sprintf("%.1f", res[si][ti].bloat))
 		}
 		t.AddRow(row...)
 	}
@@ -126,7 +222,13 @@ func AblationFanout(specs []workload.Spec, thresholds []float64, p Params) (*sta
 // two-level organization (small zero-penalty L1 backed by the full table
 // with a promotion bubble) on the industry front-end.
 func AblationBTB(specs []workload.Spec, l1Entries []int, p Params) (*stats.Table, error) {
-	if err := p.Validate(); err != nil {
+	res, err := sweep(specs, len(l1Entries), p, func(spec workload.Spec, ci int) core.Config {
+		c := core.DefaultConfig()
+		c.Frontend.BPU.L1BTBEntries = l1Entries[ci]
+		c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+		return c
+	})
+	if err != nil {
 		return nil, err
 	}
 	cols := []string{"workload"}
@@ -138,20 +240,10 @@ func AblationBTB(specs []workload.Spec, l1Entries []int, p Params) (*stats.Table
 		cols = append(cols, label+"-ipc", label+"-bubbles/Ki")
 	}
 	t := stats.NewTable("Ablation A7: BTB organization on FDP-24", cols...)
-	for _, spec := range specs {
-		prog, err := spec.Build()
-		if err != nil {
-			return nil, err
-		}
+	for si, spec := range specs {
 		row := []string{spec.Name}
-		for _, e := range l1Entries {
-			c := core.DefaultConfig()
-			c.Frontend.BPU.L1BTBEntries = e
-			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
-			st, err := core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
-			if err != nil {
-				return nil, err
-			}
+		for ci := range l1Entries {
+			st := res[si][ci]
 			perKi := float64(st.Frontend.BTBL2FillBubbles) / float64(st.Instructions) * 1000
 			row = append(row, fmt.Sprintf("%.3f", st.IPC()), fmt.Sprintf("%.2f", perKi))
 		}
@@ -166,7 +258,13 @@ func AblationBTB(specs []workload.Spec, l1Entries []int, p Params) (*stats.Table
 // depths trade L1-I pollution and bandwidth against incidental next-line
 // coverage.
 func AblationWrongPath(specs []workload.Spec, depths []int, p Params) (*stats.Table, error) {
-	if err := p.Validate(); err != nil {
+	res, err := sweep(specs, len(depths), p, func(spec workload.Spec, ci int) core.Config {
+		c := core.DefaultConfig()
+		c.Frontend.WrongPathDepth = depths[ci]
+		c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+		return c
+	})
+	if err != nil {
 		return nil, err
 	}
 	cols := []string{"workload"}
@@ -174,20 +272,10 @@ func AblationWrongPath(specs []workload.Spec, depths []int, p Params) (*stats.Ta
 		cols = append(cols, fmt.Sprintf("wp=%d-ipc", d), fmt.Sprintf("wp=%d-mpki", d))
 	}
 	t := stats.NewTable("Ablation A6: wrong-path sequential fetch depth on FDP-24", cols...)
-	for _, spec := range specs {
-		prog, err := spec.Build()
-		if err != nil {
-			return nil, err
-		}
+	for si, spec := range specs {
 		row := []string{spec.Name}
-		for _, d := range depths {
-			c := core.DefaultConfig()
-			c.Frontend.WrongPathDepth = d
-			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
-			st, err := core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
-			if err != nil {
-				return nil, err
-			}
+		for ci := range depths {
+			st := res[si][ci]
 			row = append(row, fmt.Sprintf("%.3f", st.IPC()), fmt.Sprintf("%.1f", st.L1IMPKI()))
 		}
 		t.AddRow(row...)
@@ -201,29 +289,25 @@ func AblationWrongPath(specs []workload.Spec, depths []int, p Params) (*stats.Ta
 // versus random quantifies how much of the paper's L1-I miss profile is
 // policy-sensitive.
 func AblationReplacement(specs []workload.Spec, p Params) (*stats.Table, error) {
-	if err := p.Validate(); err != nil {
+	policies := []cache.ReplKind{cache.ReplLRU, cache.ReplSRRIP, cache.ReplRandom}
+	res, err := sweep(specs, len(policies), p, func(spec workload.Spec, ci int) core.Config {
+		c := core.DefaultConfig()
+		c.Memory.L1I.Repl = policies[ci]
+		c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+		return c
+	})
+	if err != nil {
 		return nil, err
 	}
-	policies := []cache.ReplKind{cache.ReplLRU, cache.ReplSRRIP, cache.ReplRandom}
 	cols := []string{"workload"}
 	for _, pol := range policies {
 		cols = append(cols, pol.String()+"-ipc", pol.String()+"-mpki")
 	}
 	t := stats.NewTable("Ablation A5: L1-I replacement policy on FDP-24", cols...)
-	for _, spec := range specs {
-		prog, err := spec.Build()
-		if err != nil {
-			return nil, err
-		}
+	for si, spec := range specs {
 		row := []string{spec.Name}
-		for _, pol := range policies {
-			c := core.DefaultConfig()
-			c.Memory.L1I.Repl = pol
-			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
-			st, err := core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
-			if err != nil {
-				return nil, err
-			}
+		for ci := range policies {
+			st := res[si][ci]
 			row = append(row, fmt.Sprintf("%.3f", st.IPC()), fmt.Sprintf("%.1f", st.L1IMPKI()))
 		}
 		t.AddRow(row...)
@@ -237,32 +321,21 @@ func AblationReplacement(specs []workload.Spec, p Params) (*stats.Table, error) 
 // baseline — quantifying how sensitive the paper's FDP numbers are to
 // predictor quality.
 func AblationPredictor(specs []workload.Spec, p Params) (*stats.Table, error) {
-	if err := p.Validate(); err != nil {
+	res, err := sweep(specs, 2, p, func(spec workload.Spec, ci int) core.Config {
+		c := core.DefaultConfig()
+		c.Frontend.BPU.UseTAGE = ci == 1
+		c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+		return c
+	})
+	if err != nil {
 		return nil, err
 	}
 	t := stats.NewTable(
 		"Ablation A4: direction predictor on FDP-24 (IPC, accuracy)",
 		"workload", "tournament-ipc", "tage-ipc", "tage/tournament", "tournament-acc", "tage-acc")
 	var ratios []float64
-	for _, spec := range specs {
-		prog, err := spec.Build()
-		if err != nil {
-			return nil, err
-		}
-		run := func(useTage bool) (core.Stats, error) {
-			c := core.DefaultConfig()
-			c.Frontend.BPU.UseTAGE = useTage
-			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
-			return core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
-		}
-		tour, err := run(false)
-		if err != nil {
-			return nil, err
-		}
-		tage, err := run(true)
-		if err != nil {
-			return nil, err
-		}
+	for si, spec := range specs {
+		tour, tage := res[si][0], res[si][1]
 		ratio := 0.0
 		if tour.IPC() > 0 {
 			ratio = tage.IPC() / tour.IPC()
@@ -283,39 +356,30 @@ func AblationPredictor(specs []workload.Spec, p Params) (*stats.Table, error) {
 // baseline includes — post-fetch correction and GHR filtering — on the
 // industry-standard front-end.
 func AblationFrontend(specs []workload.Spec, p Params) (*stats.Table, error) {
-	if err := p.Validate(); err != nil {
+	combos := []struct {
+		pfc, ghr bool
+	}{{false, false}, {true, false}, {false, true}, {true, true}}
+	res, err := sweep(specs, len(combos), p, func(spec workload.Spec, ci int) core.Config {
+		c := core.DefaultConfig()
+		c.Frontend.EnablePFC = combos[ci].pfc
+		c.Frontend.BPU.FilterGHR = combos[ci].ghr
+		c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+		return c
+	})
+	if err != nil {
 		return nil, err
 	}
 	t := stats.NewTable(
 		"Ablation A3: FDP refinements (IPC speedup over both disabled)",
 		"workload", "neither", "pfc-only", "ghr-filter-only", "both")
-	combos := []struct {
-		pfc, ghr bool
-	}{{false, false}, {true, false}, {false, true}, {true, true}}
-
 	geo := make([][]float64, len(combos))
-	for _, spec := range specs {
-		prog, err := spec.Build()
-		if err != nil {
-			return nil, err
-		}
-		var base float64
+	for si, spec := range specs {
+		base := res[si][0].IPC()
 		row := []string{spec.Name}
-		for ci, combo := range combos {
-			c := core.DefaultConfig()
-			c.Frontend.EnablePFC = combo.pfc
-			c.Frontend.BPU.FilterGHR = combo.ghr
-			c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
-			st, err := core.RunSource(c, program.NewExecutor(prog, spec.Seed^p.ExecSeedSalt))
-			if err != nil {
-				return nil, err
-			}
-			if ci == 0 {
-				base = st.IPC()
-			}
+		for ci := range combos {
 			sp := 0.0
 			if base > 0 {
-				sp = st.IPC() / base
+				sp = res[si][ci].IPC() / base
 			}
 			geo[ci] = append(geo[ci], sp)
 			row = append(row, fmt.Sprintf("%.3f", sp))

@@ -5,18 +5,25 @@
 // conservative front-end, the industry-standard 24-entry FDP, and AsmDB /
 // ideal AsmDB on top of it), plus an EIP hardware-prefetching series.
 // Every figure is then a projection of the suite's matrices.
+//
+// Execution is decomposed into per-(workload, configuration) jobs on the
+// internal/runner work-stealing pool — so one slow workload's seven
+// configurations spread across idle workers instead of serializing — and
+// every simulation run is keyed into the runner's content-addressed cache
+// by (config fingerprint, workload spec, seed, budgets, plan provenance),
+// making warm re-runs near-instant. The cache is only sound because runs
+// are bit-deterministic; TestDeterminismAcrossParallelism guards that.
 package experiment
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"frontsim/internal/asmdb"
 	"frontsim/internal/cfg"
 	"frontsim/internal/core"
 	"frontsim/internal/hwpf"
 	"frontsim/internal/program"
+	"frontsim/internal/runner"
 	"frontsim/internal/trace"
 	"frontsim/internal/workload"
 )
@@ -31,12 +38,18 @@ type Params struct {
 	MeasureInstrs int64
 	// ProfileInstrs is the AsmDB profiling stream length.
 	ProfileInstrs int64
-	// Parallelism bounds concurrent workload matrices (<=0: GOMAXPROCS).
+	// Parallelism bounds pool workers (<=0: GOMAXPROCS). Results are
+	// bit-identical at every setting; a goroutine joining a job group also
+	// executes that group's queued jobs, so effective concurrency can
+	// briefly exceed this bound by the number of concurrent waiters.
 	Parallelism int
 	// AsmDB tunes the software prefetcher.
 	AsmDB asmdb.Options
 	// ExecSeedSalt separates executor randomness from structural seeds.
 	ExecSeedSalt uint64
+	// Cache, when non-nil, is consulted before and filled after every
+	// simulation run. Never part of a cache key itself.
+	Cache *runner.Cache `json:"-"`
 }
 
 // DefaultParams returns the scaled-down defaults.
@@ -85,88 +98,300 @@ func (m *Matrix) Speedup(st core.Stats) float64 {
 	return st.IPC() / base
 }
 
+// seriesID indexes the seven per-workload configurations.
+type seriesID int
+
+const (
+	serCons seriesID = iota
+	serFDP
+	serEIP
+	serAsmdbCons
+	serAsmdbConsIdeal
+	serAsmdbFDP
+	serAsmdbFDPIdeal
+	numSeries
+)
+
+// seriesLabels name the series in cache keys and progress lines.
+var seriesLabels = [numSeries]string{
+	"cons", "fdp24", "eip+fdp24",
+	"asmdb+cons", "asmdb-ideal+cons", "asmdb+fdp24", "asmdb-ideal+fdp24",
+}
+
+func (m *Matrix) seriesPtr(id seriesID) *core.Stats {
+	switch id {
+	case serCons:
+		return &m.Cons
+	case serFDP:
+		return &m.FDP
+	case serEIP:
+		return &m.EIPFDP
+	case serAsmdbCons:
+		return &m.AsmdbCons
+	case serAsmdbConsIdeal:
+		return &m.AsmdbConsIdeal
+	case serAsmdbFDP:
+		return &m.AsmdbFDP
+	case serAsmdbFDPIdeal:
+		return &m.AsmdbFDPIdeal
+	}
+	panic(fmt.Sprintf("experiment: series %d", id))
+}
+
+// cacheSchema versions the run-cache key layout. Bump together with
+// core.FingerprintSchema when key semantics change.
+const cacheSchema = 1
+
+// Program-variant tags in run-cache keys. The config fingerprint cannot
+// see which instruction stream it runs against, so the key must.
+const (
+	progBase     = "base"          // the workload's generated program
+	progAsmdb    = "asmdb"         // AsmDB-rewritten program
+	progTriggers = "base+triggers" // base program plus plan-derived trigger table
+)
+
+// simKey is the canonical identity of one simulation run: everything that
+// determines its Stats bit-for-bit, and nothing else. For plan-derived
+// runs (rewritten programs, trigger tables) the plan's full provenance —
+// AsmDB options, profile budget, and the fingerprint of the configuration
+// whose IPC seeds the profiler — stands in for the plan content, because
+// planning is a deterministic function of that provenance.
+type simKey struct {
+	Schema        int            `json:"schema"`
+	Kind          string         `json:"kind"`
+	Workload      workload.Spec  `json:"workload"`
+	Program       string         `json:"program"`
+	AsmDB         *asmdb.Options `json:"asmdb,omitempty"`
+	ProfileInstrs int64          `json:"profile_instrs,omitempty"`
+	ProfileConfig string         `json:"profile_config,omitempty"`
+	Config        string         `json:"config"`
+	ExecSeed      uint64         `json:"exec_seed"`
+}
+
+// planKey addresses the cached AsmDB plan (and its static bloat) for one
+// workload under one profiling setup.
+type planKey struct {
+	Schema        int           `json:"schema"`
+	Kind          string        `json:"kind"`
+	Workload      workload.Spec `json:"workload"`
+	AsmDB         asmdb.Options `json:"asmdb"`
+	ProfileInstrs int64         `json:"profile_instrs"`
+	ProfileConfig string        `json:"profile_config"`
+	ExecSeed      uint64        `json:"exec_seed"`
+}
+
+// planEntry is the cached plan value.
+type planEntry struct {
+	Plan        *asmdb.Plan `json:"plan"`
+	StaticBloat float64     `json:"static_bloat"`
+}
+
+// matrixKeys precomputes the cache identities of a workload's runs. All of
+// them are derivable before anything executes, which is what lets a fully
+// warm workload skip even building its program.
+type matrixKeys struct {
+	series [numSeries]simKey
+	plan   planKey
+}
+
+func (p Params) consConfig() core.Config {
+	c := core.ConservativeConfig()
+	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+	return c
+}
+
+func (p Params) fdpConfig() core.Config {
+	c := core.DefaultConfig()
+	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+	return c
+}
+
+func (p Params) eipConfig() (core.Config, error) {
+	c := p.fdpConfig()
+	eip, err := hwpf.NewEIP(hwpf.DefaultEIPConfig())
+	if err != nil {
+		return c, err
+	}
+	c.Frontend.Prefetcher = eip
+	return c, nil
+}
+
+func newMatrixKeys(spec workload.Spec, p Params) (matrixKeys, error) {
+	eipCfg, err := p.eipConfig()
+	if err != nil {
+		return matrixKeys{}, err
+	}
+	consFP := p.consConfig().Fingerprint()
+	fdpFP := p.fdpConfig().Fingerprint()
+	eipFP := eipCfg.Fingerprint()
+	seed := spec.Seed ^ p.ExecSeedSalt
+	opts := p.AsmDB
+
+	base := func(cfgFP string) simKey {
+		return simKey{Schema: cacheSchema, Kind: "sim", Workload: spec,
+			Program: progBase, Config: cfgFP, ExecSeed: seed}
+	}
+	planned := func(prog, cfgFP string) simKey {
+		k := base(cfgFP)
+		k.Program = prog
+		k.AsmDB = &opts
+		k.ProfileInstrs = p.ProfileInstrs
+		k.ProfileConfig = consFP
+		return k
+	}
+	var mk matrixKeys
+	mk.series[serCons] = base(consFP)
+	mk.series[serFDP] = base(fdpFP)
+	mk.series[serEIP] = base(eipFP)
+	mk.series[serAsmdbCons] = planned(progAsmdb, consFP)
+	mk.series[serAsmdbConsIdeal] = planned(progTriggers, consFP)
+	mk.series[serAsmdbFDP] = planned(progAsmdb, fdpFP)
+	mk.series[serAsmdbFDPIdeal] = planned(progTriggers, fdpFP)
+	mk.plan = planKey{Schema: cacheSchema, Kind: "plan", Workload: spec,
+		AsmDB: opts, ProfileInstrs: p.ProfileInstrs, ProfileConfig: consFP, ExecSeed: seed}
+	return mk, nil
+}
+
 // RunMatrix builds the workload, profiles it, generates and applies the
-// AsmDB plan, and runs all seven configurations.
+// AsmDB plan, and runs all seven configurations, parallelized over a
+// private pool and cached through p.Cache when set.
 func RunMatrix(spec workload.Spec, index int, p Params) (*Matrix, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	pool := runner.NewPool(p.Parallelism)
+	defer pool.Close()
+	return runMatrixPooled(pool, spec, index, p, nil)
+}
+
+// runMatrixPooled executes one workload's matrix on a shared pool. It
+// probes the cache for every series first; whatever is missing runs as
+// per-configuration jobs in two fork-join waves (plain-program runs, then
+// plan-derived runs, which need the baseline IPC to profile against).
+func runMatrixPooled(pool *runner.Pool, spec workload.Spec, index int, p Params, pr *runner.Progress) (*Matrix, error) {
+	m := &Matrix{Spec: spec, Index: index}
+	keys, err := newMatrixKeys(spec, p)
+	if err != nil {
+		return nil, err
+	}
+
+	var have [numSeries]bool
+	missing := 0
+	for id := seriesID(0); id < numSeries; id++ {
+		ok, err := p.Cache.Get(keys.series[id], m.seriesPtr(id))
+		if err != nil {
+			return nil, err
+		}
+		have[id] = ok
+		if ok {
+			pr.JobDone(spec.Name+"/"+seriesLabels[id], true)
+		} else {
+			missing++
+		}
+	}
+	var pe planEntry
+	havePlan, err := p.Cache.Get(keys.plan, &pe)
+	if err != nil {
+		return nil, err
+	}
+	if havePlan {
+		m.Plan, m.StaticBloat = pe.Plan, pe.StaticBloat
+	}
+	if havePlan && missing == 0 {
+		return m, nil
+	}
+
 	prog, err := spec.Build()
 	if err != nil {
 		return nil, err
 	}
 	execSeed := spec.Seed ^ p.ExecSeedSalt
-	exec := func(pr *program.Program) trace.Source {
-		return program.NewExecutor(pr, execSeed)
+
+	runSeries := func(g *runner.Group, id seriesID, mk func() (core.Config, *program.Program, error)) {
+		if have[id] {
+			return
+		}
+		g.Go(func() error {
+			c, target, err := mk()
+			if err != nil {
+				return err
+			}
+			st, err := core.RunSource(c, program.NewExecutor(target, execSeed))
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", spec.Name, seriesLabels[id], err)
+			}
+			*m.seriesPtr(id) = st
+			if err := p.Cache.Put(keys.series[id], st); err != nil {
+				return err
+			}
+			pr.JobDone(spec.Name+"/"+seriesLabels[id], false)
+			return nil
+		})
 	}
 
-	consCfg := func() core.Config {
-		c := core.ConservativeConfig()
-		c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
-		return c
-	}
-	fdpCfg := func() core.Config {
-		c := core.DefaultConfig()
-		c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
-		return c
-	}
-
-	m := &Matrix{Spec: spec, Index: index}
-
-	// Conservative baseline (also supplies the profiling IPC, as the paper
-	// profiles on the pre-FDP machine AsmDB's authors evaluated).
-	if m.Cons, err = core.RunSource(consCfg(), exec(prog)); err != nil {
-		return nil, fmt.Errorf("%s baseline: %w", spec.Name, err)
-	}
-
-	// Profile and plan.
-	graph, err := cfg.Profile(trace.NewLimit(exec(prog), p.ProfileInstrs), cfg.Options{IPC: m.Cons.IPC()})
-	if err != nil {
-		return nil, fmt.Errorf("%s profile: %w", spec.Name, err)
-	}
-	m.Plan, err = asmdb.Build(graph, p.AsmDB)
-	if err != nil {
-		return nil, fmt.Errorf("%s plan: %w", spec.Name, err)
-	}
-	m.StaticBloat = m.Plan.StaticBloat(prog)
-	rewritten, _, err := asmdb.Apply(prog, m.Plan)
-	if err != nil {
-		return nil, fmt.Errorf("%s apply: %w", spec.Name, err)
-	}
-	triggers := asmdb.Triggers(prog, m.Plan)
-
-	// AsmDB on the conservative front-end.
-	if m.AsmdbCons, err = core.RunSource(consCfg(), exec(rewritten)); err != nil {
-		return nil, fmt.Errorf("%s asmdb+cons: %w", spec.Name, err)
-	}
-	c := consCfg()
-	c.Triggers = triggers
-	if m.AsmdbConsIdeal, err = core.RunSource(c, exec(prog)); err != nil {
-		return nil, fmt.Errorf("%s asmdb-ideal+cons: %w", spec.Name, err)
-	}
-
-	// Industry-standard FDP and AsmDB on top of it.
-	if m.FDP, err = core.RunSource(fdpCfg(), exec(prog)); err != nil {
-		return nil, fmt.Errorf("%s fdp: %w", spec.Name, err)
-	}
-	if m.AsmdbFDP, err = core.RunSource(fdpCfg(), exec(rewritten)); err != nil {
-		return nil, fmt.Errorf("%s asmdb+fdp: %w", spec.Name, err)
-	}
-	c = fdpCfg()
-	c.Triggers = triggers
-	if m.AsmdbFDPIdeal, err = core.RunSource(c, exec(prog)); err != nil {
-		return nil, fmt.Errorf("%s asmdb-ideal+fdp: %w", spec.Name, err)
-	}
-
-	// EIP hardware prefetcher series.
-	c = fdpCfg()
-	eip, err := hwpf.NewEIP(hwpf.DefaultEIPConfig())
-	if err != nil {
+	// Wave 1: runs against the unmodified program. The conservative
+	// baseline doubles as the profiling IPC source, as the paper profiles
+	// on the pre-FDP machine AsmDB's authors evaluated.
+	g := pool.NewGroup()
+	runSeries(g, serCons, func() (core.Config, *program.Program, error) {
+		return p.consConfig(), prog, nil
+	})
+	runSeries(g, serFDP, func() (core.Config, *program.Program, error) {
+		return p.fdpConfig(), prog, nil
+	})
+	runSeries(g, serEIP, func() (core.Config, *program.Program, error) {
+		c, err := p.eipConfig()
+		return c, prog, err
+	})
+	if err := g.Wait(); err != nil {
 		return nil, err
 	}
-	c.Frontend.Prefetcher = eip
-	if m.EIPFDP, err = core.RunSource(c, exec(prog)); err != nil {
-		return nil, fmt.Errorf("%s eip+fdp: %w", spec.Name, err)
+
+	needPlanned := !have[serAsmdbCons] || !have[serAsmdbConsIdeal] ||
+		!have[serAsmdbFDP] || !have[serAsmdbFDPIdeal]
+	if !havePlan {
+		graph, err := cfg.Profile(trace.NewLimit(program.NewExecutor(prog, execSeed), p.ProfileInstrs),
+			cfg.Options{IPC: m.Cons.IPC()})
+		if err != nil {
+			return nil, fmt.Errorf("%s profile: %w", spec.Name, err)
+		}
+		if m.Plan, err = asmdb.Build(graph, p.AsmDB); err != nil {
+			return nil, fmt.Errorf("%s plan: %w", spec.Name, err)
+		}
+		m.StaticBloat = m.Plan.StaticBloat(prog)
+		if err := p.Cache.Put(keys.plan, planEntry{Plan: m.Plan, StaticBloat: m.StaticBloat}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Wave 2: runs that need the plan — the rewritten program for the
+	// insertion-overhead series, the trigger table for the ideal ones.
+	if needPlanned {
+		rewritten, _, err := asmdb.Apply(prog, m.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("%s apply: %w", spec.Name, err)
+		}
+		triggers := asmdb.Triggers(prog, m.Plan)
+		withTriggers := func(c core.Config) core.Config {
+			c.Triggers = triggers
+			return c
+		}
+		g = pool.NewGroup()
+		runSeries(g, serAsmdbCons, func() (core.Config, *program.Program, error) {
+			return p.consConfig(), rewritten, nil
+		})
+		runSeries(g, serAsmdbConsIdeal, func() (core.Config, *program.Program, error) {
+			return withTriggers(p.consConfig()), prog, nil
+		})
+		runSeries(g, serAsmdbFDP, func() (core.Config, *program.Program, error) {
+			return p.fdpConfig(), rewritten, nil
+		})
+		runSeries(g, serAsmdbFDPIdeal, func() (core.Config, *program.Program, error) {
+			return withTriggers(p.fdpConfig()), prog, nil
+		})
+		if err := g.Wait(); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }
@@ -174,27 +399,28 @@ func RunMatrix(spec workload.Spec, index int, p Params) (*Matrix, error) {
 // RunSuite runs matrices for every spec, in parallel, preserving order.
 // progress (optional) receives one line per completed workload.
 func RunSuite(specs []workload.Spec, p Params, progress func(string)) ([]*Matrix, error) {
+	return RunSuiteMonitor(specs, p, progress, nil)
+}
+
+// RunSuiteMonitor is RunSuite with an additional per-job channel:
+// jobProgress (optional) receives one line per completed
+// (workload, configuration) simulation, with elapsed time and ETA.
+func RunSuiteMonitor(specs []workload.Spec, p Params, progress, jobProgress func(string)) ([]*Matrix, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	par := p.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > len(specs) {
-		par = len(specs)
-	}
+	pool := runner.NewPool(p.Parallelism)
+	defer pool.Close()
+	pr := runner.NewProgress(jobProgress)
+	pr.AddTotal(int(numSeries) * len(specs))
+
 	out := make([]*Matrix, len(specs))
 	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
+	g := pool.NewGroup()
 	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec workload.Spec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			m, err := RunMatrix(spec, i+1, p)
+		i, spec := i, spec
+		g.Go(func() error {
+			m, err := runMatrixPooled(pool, spec, i+1, p, pr)
 			out[i], errs[i] = m, err
 			if progress != nil {
 				if err != nil {
@@ -204,9 +430,12 @@ func RunSuite(specs []workload.Spec, p Params, progress func(string)) ([]*Matrix
 						i+1, len(specs), spec.Name, m.Cons.IPC(), m.Speedup(m.FDP), m.Speedup(m.AsmdbFDP), m.FDP.L1IMPKI()))
 				}
 			}
-		}(i, spec)
+			return nil
+		})
 	}
-	wg.Wait()
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("workload %d (%s): %w", i+1, specs[i].Name, err)

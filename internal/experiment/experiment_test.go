@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -130,22 +131,48 @@ func TestRunSuiteParallelMatchesOrder(t *testing.T) {
 	}
 }
 
+// TestRunSuiteDeterminismAcrossParallelism is the regression test the
+// run cache's soundness rests on: the full per-workload measurement —
+// every series, every counter, serialized canonically — must be
+// byte-identical whether jobs run serially (Parallelism=1), spread over a
+// work-stealing pool (8), or repeated at 8 (no run-to-run jitter).
 func TestRunSuiteDeterminismAcrossParallelism(t *testing.T) {
 	specs := workload.All()[:2]
-	p := tinyParams()
-	p.Parallelism = 1
-	a, err := RunSuite(specs, p, nil)
-	if err != nil {
-		t.Fatal(err)
+	run := func(par int) []*Matrix {
+		t.Helper()
+		p := tinyParams()
+		p.Parallelism = par
+		ms, err := RunSuite(specs, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
 	}
-	p.Parallelism = 2
-	b, err := RunSuite(specs, p, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range a {
-		if a[i].Cons.Cycles != b[i].Cons.Cycles || a[i].AsmdbFDP.Cycles != b[i].AsmdbFDP.Cycles {
-			t.Fatalf("parallelism changed results for %s", a[i].Spec.Name)
+	serial := run(1)
+	par8a := run(8)
+	par8b := run(8)
+	for i := range serial {
+		a := matrixCanonical(t, serial[i])
+		b := matrixCanonical(t, par8a[i])
+		c := matrixCanonical(t, par8b[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("parallelism changed results for %s:\n par1 %s\n par8 %s", serial[i].Spec.Name, a, b)
+		}
+		if !bytes.Equal(b, c) {
+			t.Fatalf("repeated par-8 runs differ for %s:\n first  %s\n second %s", serial[i].Spec.Name, b, c)
+		}
+		for id := seriesID(0); id < numSeries; id++ {
+			sa, err := serial[i].seriesPtr(id).CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := par8a[i].seriesPtr(id).CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sa, sb) {
+				t.Fatalf("series %s of %s differs across parallelism", seriesLabels[id], serial[i].Spec.Name)
+			}
 		}
 	}
 }

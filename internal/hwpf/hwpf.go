@@ -163,3 +163,17 @@ func containsAddr(xs []isa.Addr, a isa.Addr) bool {
 	}
 	return false
 }
+
+// PrefetchFingerprint implements core.PrefetchFingerprinter: the stable
+// identity of a freshly constructed next-line prefetcher is its static
+// configuration (learned state is per-run and excluded by design).
+func (p *NextLine) PrefetchFingerprint() string {
+	return fmt.Sprintf("hwpf.NextLine{Degree:%d,OnMissOnly:%v}", p.Degree, p.OnMissOnly)
+}
+
+// PrefetchFingerprint implements core.PrefetchFingerprinter for EIP; as
+// with NextLine, only the static configuration identifies the run.
+func (p *EIP) PrefetchFingerprint() string {
+	return fmt.Sprintf("hwpf.EIP{TableEntries:%d,MaxEntangled:%d,HistoryDepth:%d}",
+		p.cfg.TableEntries, p.cfg.MaxEntangled, p.cfg.HistoryDepth)
+}

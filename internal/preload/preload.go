@@ -13,7 +13,10 @@
 package preload
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"sort"
 
 	"frontsim/internal/asmdb"
 	"frontsim/internal/cache"
@@ -143,4 +146,22 @@ func contains(xs []isa.Addr, a isa.Addr) bool {
 		}
 	}
 	return false
+}
+
+// PrefetchFingerprint implements core.PrefetchFingerprinter: the identity
+// of a preloader is its configuration plus the compiled metadata store
+// (site-sorted so map iteration order cannot leak into the hash).
+func (p *Preloader) PrefetchFingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "preload.Config{L1Entries:%d,FillLatency:%d,MaxTargetsPerLine:%d}",
+		p.cfg.L1Entries, p.cfg.FillLatency, p.cfg.MaxTargetsPerLine)
+	sites := make([]isa.Addr, 0, len(p.store))
+	for site := range p.store {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, site := range sites {
+		fmt.Fprintf(h, ";%d:%v", site, p.store[site])
+	}
+	return "preload:" + hex.EncodeToString(h.Sum(nil))
 }

@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Progress aggregates per-job completion into "[done/total] label ... eta"
+// lines. All methods are safe for concurrent use and safe on a nil
+// receiver, so call sites never need to guard on whether reporting is on.
+type Progress struct {
+	mu     sync.Mutex
+	emit   func(string)
+	now    func() time.Time
+	start  time.Time
+	total  int
+	done   int
+	cached int
+}
+
+// NewProgress returns a tracker emitting lines through emit, or nil (an
+// inert tracker) if emit is nil.
+func NewProgress(emit func(string)) *Progress {
+	if emit == nil {
+		return nil
+	}
+	now := time.Now
+	return &Progress{emit: emit, now: now, start: now()}
+}
+
+// AddTotal announces n more expected jobs.
+func (p *Progress) AddTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total += n
+	p.mu.Unlock()
+}
+
+// JobDone records one finished job and emits its progress line. Cached
+// jobs count toward completion but are flagged, and the ETA is projected
+// from the average pace of everything finished so far.
+func (p *Progress) JobDone(label string, fromCache bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	if fromCache {
+		p.cached++
+	}
+	done, total, cached := p.done, p.total, p.cached
+	elapsed := p.now().Sub(p.start)
+	p.mu.Unlock()
+
+	suffix := ""
+	if fromCache {
+		suffix = " (cached)"
+	}
+	eta := "done"
+	if done < total {
+		remaining := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		eta = "eta " + remaining.Round(time.Second).String()
+	}
+	p.emit(fmt.Sprintf("[%3d/%d] %-28s %s, %s, %d cached%s",
+		done, total, label, elapsed.Round(time.Millisecond), eta, cached, suffix))
+}

@@ -1,0 +1,289 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var n atomic.Int64
+	g := p.NewGroup()
+	for i := 0; i < 100; i++ {
+		g.Go(func() error { n.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", n.Load())
+	}
+}
+
+func TestPoolFirstErrorWins(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	g := p.NewGroup()
+	want := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() error {
+			if i%3 == 0 {
+				return want
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, want) {
+		t.Fatalf("Wait() = %v, want %v", err, want)
+	}
+}
+
+// TestPoolNestedGroupsSingleWorker is the deadlock regression: with one
+// worker, a task that forks a subgroup and joins it can only finish if the
+// waiting goroutine helps execute its own subtasks.
+func TestPoolNestedGroupsSingleWorker(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var n atomic.Int64
+	g := p.NewGroup()
+	for i := 0; i < 4; i++ {
+		g.Go(func() error {
+			sub := p.NewGroup()
+			for j := 0; j < 4; j++ {
+				sub.Go(func() error {
+					leaf := p.NewGroup()
+					leaf.Go(func() error { n.Add(1); return nil })
+					return leaf.Wait()
+				})
+			}
+			return sub.Wait()
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 16 {
+		t.Fatalf("ran %d of 16 leaves", n.Load())
+	}
+}
+
+// TestPoolStress hammers the scheduler from many submitters so the race
+// detector can see into the deque and group bookkeeping.
+func TestPoolStress(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var n atomic.Int64
+	g := p.NewGroup()
+	for i := 0; i < 32; i++ {
+		g.Go(func() error {
+			sub := p.NewGroup()
+			for j := 0; j < 50; j++ {
+				sub.Go(func() error { n.Add(1); return nil })
+			}
+			return sub.Wait()
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 32*50 {
+		t.Fatalf("ran %d of %d", n.Load(), 32*50)
+	}
+}
+
+func TestGroupWaitHelpsOwnGroupOnly(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	outer := p.NewGroup()
+	outer.Go(func() error {
+		// The single worker is now occupied; the subgroup's task can only
+		// run through the helping Wait below.
+		sub := p.NewGroup()
+		ran := false
+		sub.Go(func() error { ran = true; return nil })
+		if err := sub.Wait(); err != nil {
+			return err
+		}
+		if !ran {
+			return errors.New("subtask never ran")
+		}
+		return nil
+	})
+	if err := outer.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type testKey struct {
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+}
+
+type testValue struct {
+	Words []string `json:"words"`
+	Score float64  `json:"score"`
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey{Kind: "unit", N: 7}
+	want := testValue{Words: []string{"a", "b"}, Score: 1.25}
+
+	var got testValue
+	if ok, err := c.Get(key, &got); err != nil || ok {
+		t.Fatalf("Get before Put = %v, %v", ok, err)
+	}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Get(key, &got); err != nil || !ok {
+		t.Fatalf("Get after Put = %v, %v", ok, err)
+	}
+	if got.Score != want.Score || len(got.Words) != 2 || got.Words[0] != "a" {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+	m := c.Metrics()
+	if m.Hits != 1 || m.Misses != 1 || m.Puts != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestCacheDistinctKeysDistinctEntries(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testKey{Kind: "k", N: 1}, testValue{Score: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testKey{Kind: "k", N: 2}, testValue{Score: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var v testValue
+	if ok, _ := c.Get(testKey{Kind: "k", N: 1}, &v); !ok || v.Score != 1 {
+		t.Fatalf("key 1: ok=%v v=%+v", ok, v)
+	}
+	if ok, _ := c.Get(testKey{Kind: "k", N: 2}, &v); !ok || v.Score != 2 {
+		t.Fatalf("key 2: ok=%v v=%+v", ok, v)
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey{Kind: "corrupt", N: 1}
+	if err := c.Put(key, testValue{Score: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate every stored entry.
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		return os.WriteFile(path, []byte("{not json"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v testValue
+	if ok, err := c.Get(key, &v); err != nil || ok {
+		t.Fatalf("corrupt entry: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCacheNilIsInert(t *testing.T) {
+	var c *Cache
+	if err := c.Put(testKey{}, testValue{}); err != nil {
+		t.Fatal(err)
+	}
+	var v testValue
+	if ok, err := c.Get(testKey{}, &v); err != nil || ok {
+		t.Fatalf("nil cache Get = %v, %v", ok, err)
+	}
+	if c.Dir() != "" || (c.Metrics() != Metrics{}) {
+		t.Fatal("nil cache not inert")
+	}
+}
+
+func TestCacheConcurrentSameKey(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(8)
+	defer p.Close()
+	g := p.NewGroup()
+	key := testKey{Kind: "contended", N: 9}
+	for i := 0; i < 32; i++ {
+		g.Go(func() error {
+			if err := c.Put(key, testValue{Score: 42}); err != nil {
+				return err
+			}
+			var v testValue
+			if ok, err := c.Get(key, &v); err != nil {
+				return err
+			} else if ok && v.Score != 42 {
+				return fmt.Errorf("torn read: %+v", v)
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, err := Fingerprint(testKey{Kind: "fp", N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(testKey{Kind: "fp", N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || len(a) != 64 {
+		t.Fatalf("fingerprints %q vs %q", a, b)
+	}
+	c, _ := Fingerprint(testKey{Kind: "fp", N: 4})
+	if c == a {
+		t.Fatal("distinct keys share a fingerprint")
+	}
+}
+
+func TestProgressLines(t *testing.T) {
+	var lines []string
+	pr := NewProgress(func(s string) { lines = append(lines, s) })
+	pr.AddTotal(3)
+	pr.JobDone("w1/cons", false)
+	pr.JobDone("w1/fdp24", true)
+	pr.JobDone("w1/eip", false)
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "[  1/3]") || !strings.Contains(lines[0], "eta") {
+		t.Fatalf("first line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "(cached)") {
+		t.Fatalf("cached line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "done") {
+		t.Fatalf("final line %q", lines[2])
+	}
+	var nilPr *Progress
+	nilPr.AddTotal(1)
+	nilPr.JobDone("x", false) // must not panic
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// floatsFromBytes decodes the fuzzer's byte soup into float64s, keeping
+// every bit pattern — including NaNs, infinities, and denormals — so the
+// numeric utilities see genuinely hostile inputs.
+func floatsFromBytes(data []byte) []float64 {
+	out := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+		data = data[8:]
+	}
+	return out
+}
+
+// FuzzGeomean checks the documented contract under arbitrary inputs: the
+// result is never NaN or negative, an input with no usable values yields
+// 0, and all-equal positive inputs yield that value.
+func FuzzGeomean(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(mustBytes(1.0, 2.0, 4.0))
+	f.Add(mustBytes(math.NaN(), 1.5))
+	f.Add(mustBytes(math.Inf(1), 1e-300, -3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := floatsFromBytes(data)
+		g := Geomean(xs)
+		if math.IsNaN(g) {
+			t.Fatalf("Geomean(%v) = NaN", xs)
+		}
+		if g < 0 {
+			t.Fatalf("Geomean(%v) = %v < 0", xs, g)
+		}
+		usable := 0
+		for _, x := range xs {
+			if x > 0 && !math.IsNaN(x) {
+				usable++
+			}
+		}
+		if usable == 0 && g != 0 {
+			t.Fatalf("Geomean(%v) = %v with no usable values", xs, g)
+		}
+	})
+}
+
+// FuzzPercentile checks that Percentile never panics and, for finite
+// non-NaN inputs, always returns an element of the input (nearest-rank
+// percentiles are order statistics, not interpolations).
+func FuzzPercentile(f *testing.F) {
+	f.Add([]byte{}, 50.0)
+	f.Add(mustBytes(3, 1, 2), 0.0)
+	f.Add(mustBytes(3, 1, 2), 100.0)
+	f.Add(mustBytes(1), math.NaN())
+	f.Add(mustBytes(5, 9), 1e308)
+	f.Add(mustBytes(5, 9), -1e308)
+	f.Fuzz(func(t *testing.T, data []byte, p float64) {
+		xs := floatsFromBytes(data)
+		v := Percentile(xs, p)
+		if len(xs) == 0 || math.IsNaN(p) {
+			if v != 0 {
+				t.Fatalf("Percentile(%v, %v) = %v, want 0", xs, p, v)
+			}
+			return
+		}
+		for _, x := range xs {
+			if x == v || (math.IsNaN(x) && math.IsNaN(v)) {
+				return
+			}
+		}
+		t.Fatalf("Percentile(%v, %v) = %v is not an input element", xs, p, v)
+	})
+}
+
+func mustBytes(xs ...float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}

@@ -11,14 +11,15 @@ import (
 	"strings"
 )
 
-// Geomean returns the geometric mean of xs, ignoring non-positive values
-// (a geomean over speedups must not be dragged to zero by a degenerate
-// sample). It returns 0 for an empty or all-non-positive input.
+// Geomean returns the geometric mean of xs, ignoring non-positive and NaN
+// values (a geomean over speedups must not be dragged to zero — or to NaN
+// — by a degenerate sample). It returns 0 for an input with no usable
+// values.
 func Geomean(xs []float64) float64 {
 	sum := 0.0
 	n := 0
 	for _, x := range xs {
-		if x <= 0 {
+		if x <= 0 || math.IsNaN(x) {
 			continue
 		}
 		sum += math.Log(x)
@@ -71,9 +72,12 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0<=p<=100) by nearest-rank on a
-// sorted copy; 0 for empty input.
+// sorted copy; 0 for empty input or NaN p. Out-of-range p clamps to the
+// extrema, and the computed rank is clamped to the slice bounds so no
+// float-rounding edge (e.g. huge inputs where int(Ceil(...)) overflows)
+// can index out of range.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	if len(xs) == 0 || math.IsNaN(p) {
 		return 0
 	}
 	sorted := append([]float64(nil), xs...)
@@ -87,6 +91,9 @@ func Percentile(xs []float64, p float64) float64 {
 	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if rank < 0 {
 		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
 	}
 	return sorted[rank]
 }
