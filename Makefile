@@ -1,0 +1,32 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same steps.
+
+GO ?= go
+
+.PHONY: all build lint test race audit vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+# lint runs the simulator's custom static-analysis suite (cmd/simlint):
+# determinism, clock/randomness hygiene, float equality, cache-key schema.
+# Suppress a finding with `//lint:allow <reason>` — see DESIGN.md.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# audit compiles the per-cycle invariant checks into every run (the
+# `audit` build tag) and exercises the pipeline packages under them.
+audit:
+	$(GO) test -tags audit ./internal/core ./internal/ftq ./internal/frontend
+
+vet:
+	$(GO) vet ./...
+
+check: vet build lint race audit

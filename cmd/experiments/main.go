@@ -44,6 +44,7 @@ func main() {
 		noCache  = flag.Bool("no-cache", false, "disable the run cache (every run cold)")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		audit    = flag.Bool("audit", false, "check simulator invariants every cycle (FTQ cycle conservation, ordering); panics with a repro dump on violation")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 	if *jobs != 0 {
 		p.Parallelism = *jobs
 	}
+	p.Audit = *audit
 	if !*noCache {
 		c, err := runner.OpenCache(*cacheDir)
 		if err != nil {

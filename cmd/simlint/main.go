@@ -1,0 +1,88 @@
+// Command simlint runs the simulator's custom static-analysis suite (see
+// internal/analysis): determinism, clock- and randomness-hygiene, float
+// comparison, and cache-key schema checks that go vet cannot express.
+//
+// Usage:
+//
+//	simlint ./...                      # whole module (the CI invocation)
+//	simlint ./internal/ftq ./cmd/...   # specific packages or subtrees
+//	simlint -analyzers detmap,floateq ./...
+//	simlint -list                      # describe the suite
+//
+// Exit status is 1 when any diagnostic is reported. Suppress a finding
+// with `//lint:allow <reason>` on the flagged line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"frontsim/internal/analysis"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list the analyzers and exit")
+		names = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		dir   = flag.String("C", ".", "module root to analyze")
+	)
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *names != "" {
+		suite = suite[:0]
+		for _, name := range strings.Split(*names, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "simlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := run(*dir, patterns, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func run(dir string, patterns []string, suite []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, ip := range paths {
+		pkg, err := loader.Load(ip)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, analysis.RunAnalyzers(pkg, suite)...)
+	}
+	return diags, nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"frontsim/internal/analysis"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsLintClean is the acceptance gate: the full suite over the whole
+// module must report nothing. Any new finding either gets a real fix or a
+// reasoned //lint:allow — never a silent regression.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	diags, err := run(moduleRoot(t), []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestRunRejectsBadPattern pins the error (not panic) path for a pattern
+// that matches nothing resolvable.
+func TestRunRejectsBadPattern(t *testing.T) {
+	if _, err := run(moduleRoot(t), []string{"./nonexistent/..."}, analysis.All()); err == nil {
+		t.Fatal("run accepted a pattern matching no packages")
+	}
+}

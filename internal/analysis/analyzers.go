@@ -1,0 +1,23 @@
+package analysis
+
+// All returns the full analyzer suite in stable order — the set
+// cmd/simlint runs and CI enforces.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detmap,
+		Nowallclock,
+		Norand,
+		Floateq,
+		Statsjson,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"frontsim/internal/analysis"
+	"frontsim/internal/analysis/atest"
+)
+
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"testdata"}, parts...)...)
+}
+
+func TestDetmapFixture(t *testing.T) {
+	atest.Run(t, fixture("detmap"), "frontsim/internal/ftq", analysis.Detmap)
+}
+
+func TestDetmapOnlyAppliesToDeterminismCriticalPackages(t *testing.T) {
+	// The same violations are invisible from a package outside the
+	// critical set — detmap is a targeted contract, not a style rule.
+	atest.RunFiltered(t, fixture("detmap"), "frontsim/internal/stats", analysis.Detmap)
+}
+
+func TestNowallclockFixture(t *testing.T) {
+	atest.Run(t, fixture("nowallclock"), "frontsim/internal/frontend", analysis.Nowallclock)
+}
+
+func TestNowallclockExemptsHarnessPackages(t *testing.T) {
+	atest.RunFiltered(t, fixture("nowallclock"), "frontsim/internal/runner", analysis.Nowallclock)
+	atest.RunFiltered(t, fixture("nowallclock"), "frontsim/cmd/experiments", analysis.Nowallclock)
+}
+
+func TestNorandFixture(t *testing.T) {
+	atest.Run(t, fixture("norand"), "frontsim/internal/workload", analysis.Norand)
+}
+
+func TestNorandExemptsXrand(t *testing.T) {
+	atest.RunFiltered(t, fixture("norand"), "frontsim/internal/xrand", analysis.Norand)
+}
+
+func TestFloateqFixture(t *testing.T) {
+	atest.Run(t, fixture("floateq"), "frontsim/internal/stats", analysis.Floateq)
+}
+
+func TestSuppressionFramework(t *testing.T) {
+	atest.Run(t, fixture("framework"), "frontsim/internal/stats", analysis.Floateq)
+}
+
+func TestStatsjsonFailingFixture(t *testing.T) {
+	atest.Run(t, fixture("statsjson", "bad"), "frontsim/internal/core", analysis.Statsjson)
+}
+
+func TestStatsjsonPassingFixture(t *testing.T) {
+	atest.Run(t, fixture("statsjson", "good"), "frontsim/internal/core", analysis.Statsjson)
+}
+
+func TestStatsjsonOnlyAppliesToCore(t *testing.T) {
+	atest.RunFiltered(t, fixture("statsjson", "bad"), "frontsim/internal/ftq", analysis.Statsjson)
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range analysis.All() {
+		if analysis.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if analysis.ByName("nosuch") != nil {
+		t.Error("ByName on an unknown name must return nil")
+	}
+}

@@ -1,0 +1,141 @@
+// Package atest is the fixture harness for the analyzer suite — a
+// self-contained stand-in for golang.org/x/tools/go/analysis/analysistest.
+// A fixture directory under internal/analysis/testdata holds ordinary Go
+// source annotated with expectation comments:
+//
+//	for k := range m { // want "nondeterministic order"
+//
+// Run type-checks the fixture as a package with a caller-chosen import
+// path (analyzer applicability filters key on it), applies one analyzer,
+// and requires the diagnostics to match the `// want "substring"`
+// expectations line for line: a diagnostic with no matching want, or a
+// want with no diagnostic, fails the test.
+package atest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"go/token"
+
+	"frontsim/internal/analysis"
+)
+
+// wantRe matches `// want "..."` expectation comments.
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` comment.
+type expectation struct {
+	line    int
+	substr  string
+	matched bool
+}
+
+// Run applies one analyzer to the fixture directory and compares
+// diagnostics against its want comments. importPath is the pretend import
+// path the fixture is checked under — pick one inside or outside the
+// analyzer's Applies set to exercise both sides of the filter.
+func Run(t *testing.T, fixtureDir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(fixtureDir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	wants := collectWants(t, loader.Fset(), pkg)
+
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for file, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, e.line, e.substr)
+			}
+		}
+	}
+}
+
+// RunFiltered asserts the analyzer's Applies filter rejects the import
+// path — i.e. the fixture's violations are invisible from outside the
+// analyzer's package set.
+func RunFiltered(t *testing.T, fixtureDir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	if a.Applies == nil {
+		t.Fatalf("analyzer %s applies everywhere; nothing to filter", a.Name)
+	}
+	if a.Applies(importPath) {
+		t.Fatalf("analyzer %s unexpectedly applies to %s", a.Name, importPath)
+	}
+	loader, err := analysis.NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(fixtureDir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	for _, d := range analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}) {
+		if d.Analyzer == a.Name {
+			t.Errorf("diagnostic leaked through Applies filter: %s", d)
+		}
+	}
+}
+
+// moduleRoot finds the enclosing module for fixture loading: tests run
+// with the package directory as cwd, so walk up to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				substr := strings.ReplaceAll(m[1], `\"`, `"`)
+				wants[pos.Filename] = append(wants[pos.Filename], &expectation{line: pos.Line, substr: substr})
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(wants map[string][]*expectation, d analysis.Diagnostic) bool {
+	for _, e := range wants[d.Pos.Filename] {
+		if e.line == d.Pos.Line && strings.Contains(d.Message, e.substr) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detmapPackages are the import-path suffixes whose code feeds the
+// determinism fingerprint: cycle accounting, fill/fetch ordering, figure
+// projection, and plan construction. A map iteration there whose order
+// escapes into results breaks the byte-identical-reruns guarantee the run
+// cache is keyed on.
+var detmapPackages = []string{
+	"internal/core",
+	"internal/ftq",
+	"internal/frontend",
+	"internal/experiment",
+	"internal/asmdb",
+}
+
+// Detmap flags every `range` over a map in the determinism-critical
+// packages. Iteration order over Go maps is deliberately randomized per
+// run, so any map range whose visit order can reach simulation output is a
+// nondeterminism bug. Loops whose order provably cannot escape (keys
+// sorted afterwards, commutative reductions) are annotated with
+// //lint:allow and the proof.
+var Detmap = &Analyzer{
+	Name: "detmap",
+	Doc:  "flags ranging over maps in determinism-critical simulator packages",
+	Applies: func(importPath string) bool {
+		for _, suffix := range detmapPackages {
+			if strings.HasSuffix(importPath, suffix) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runDetmap,
+}
+
+func runDetmap(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(rng.For, "range over map %s has nondeterministic order; iterate sorted keys or annotate with //lint:allow and a proof the order cannot escape", exprString(rng.X))
+			}
+			return true
+		})
+	}
+}
+
+// exprString renders a short source form of simple expressions for
+// diagnostics (identifiers and selector chains; anything else degrades to
+// the type).
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	}
+	return "expression"
+}

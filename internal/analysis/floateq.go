@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags == and != between floating-point operands. Derived
+// statistics (IPC, speedups, MPKI) accumulate rounding differently across
+// refactors, so exact equality silently flips figure rows and cache
+// comparisons; comparisons should be ordered (<, >), epsilon-based, or on
+// the underlying integer counters. Comparisons where both sides are
+// compile-time constants are exact and skipped; intentional exact
+// tie-breaks in deterministic sorts carry a //lint:allow proof.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on floating-point values (use ordered, epsilon, or integer-counter comparisons)",
+	Run:  runFloateq,
+}
+
+func runFloateq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.TypesInfo.Types[bin.X]
+			yt, yok := pass.TypesInfo.Types[bin.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant-folded: exact by definition
+			}
+			pass.Reportf(bin.OpPos, "%s on floating-point values (%s %s %s); use an ordered or epsilon comparison, or compare the integer counters it was derived from", bin.Op, exprString(bin.X), bin.Op, exprString(bin.Y))
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Files
+// holds only the non-test build-constraint-satisfying sources: the
+// analyzers guard simulation code, and test files legitimately use clocks,
+// randomness and exact comparisons.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader parses and type-checks packages of one module. Module-internal
+// imports resolve against the module directory tree; standard-library
+// imports type-check from $GOROOT/src through the source importer, so no
+// pre-built export data or network access is needed.
+type Loader struct {
+	ModulePath string
+	ModuleDir  string
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+	ctx     build.Context
+}
+
+// NewLoader reads the module path from dir/go.mod and returns a Loader
+// rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: loader needs a module root: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModulePath: modPath,
+		ModuleDir:  abs,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		ctx:        build.Default,
+	}, nil
+}
+
+// Fset returns the shared file set positions resolve against.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer over the union of the module tree and
+// the standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.ModulePath {
+		return l.ModuleDir
+	}
+	rel := strings.TrimPrefix(importPath, l.ModulePath+"/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// Load type-checks the module package with the given import path,
+// memoized across the loader's lifetime.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+	p, err := l.LoadDir(l.dirFor(importPath), importPath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// LoadDir parses and type-checks the package in dir under the given import
+// path (which decides analyzer applicability). Test files and files
+// excluded by build constraints are skipped.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := l.ctx.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s/%s: %w", dir, name, err)
+		}
+		if match {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// skipDirs are directory names never descended into when expanding "..."
+// patterns: VCS metadata, fixtures the go tool itself ignores, and run
+// outputs.
+var skipDirs = map[string]bool{
+	".git":     true,
+	".github":  true,
+	"testdata": true,
+	"results":  true,
+	"vendor":   true,
+}
+
+// Expand resolves package patterns relative to the module root: "./..."
+// walks the whole tree, a trailing "/..." walks a subtree, and any other
+// pattern names one directory ("." or "./internal/ftq" style). It returns
+// module import paths of directories that contain buildable Go files.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) error {
+		ok, err := l.hasGoFiles(dir)
+		if err != nil || !ok {
+			return err
+		}
+		ip := l.importPathFor(dir)
+		if !seen[ip] {
+			seen[ip] = true
+			out = append(out, ip)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		walk := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			walk = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		root := filepath.Join(l.ModuleDir, filepath.FromSlash(pat))
+		if !walk {
+			if err := add(root); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if skipDirs[d.Name()] && path != root {
+				return filepath.SkipDir
+			}
+			return add(path)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Loader) hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// randPackages are the forbidden randomness sources. math/rand's global
+// source and shuffle algorithms are not stable across Go releases, and
+// math/rand/v2 has no Seed at all — only internal/xrand's pinned PCG
+// implementation may supply simulation randomness.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Norand forbids importing math/rand outside internal/xrand.
+var Norand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbids math/rand imports outside internal/xrand (use the pinned xrand PCG)",
+	Applies: func(importPath string) bool {
+		return !strings.HasSuffix(importPath, "internal/xrand")
+	},
+	Run: runNorand,
+}
+
+func runNorand(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if randPackages[path] {
+				pass.Reportf(imp.Pos(), "import of %s: simulation randomness must come from internal/xrand, whose sequence is pinned across Go releases", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// nowallclockExempt reports packages where wall-clock reads are
+// legitimate: the runner's progress/ETA tracker and the CLI entry points
+// that report human-facing durations. Simulated time is cache.Cycle;
+// anything else consulting the host clock makes results depend on machine
+// load.
+func nowallclockExempt(importPath string) bool {
+	return strings.HasSuffix(importPath, "/internal/runner") ||
+		strings.Contains(importPath, "/cmd/")
+}
+
+// Nowallclock forbids time.Now and time.Since outside the exempted
+// harness packages.
+var Nowallclock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbids wall-clock reads (time.Now/time.Since) outside internal/runner and cmd/",
+	Applies: func(importPath string) bool {
+		return !nowallclockExempt(importPath)
+	},
+	Run: runNowallclock,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true}
+
+func runNowallclock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || !wallClockFuncs[obj.Name()] {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulated components must use cache.Cycle (only internal/runner and cmd/ may time the host)", obj.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// Statsjson guards the run-cache key against schema drift in
+// internal/core. The cache stores Stats under a key derived from
+// Config.Fingerprint(), which serializes a shadow copy of Config with the
+// non-serializable fields (the prefetcher interface, the triggers map)
+// cleared and replaced by canonical forms in configFingerprint. Three
+// things silently break that contract:
+//
+//  1. an unexported or json:"-" field on Stats — dropped from the
+//     canonical Stats JSON, so cached snapshots lose data;
+//  2. an unexported field on Config — invisible to json.Marshal, so two
+//     semantically different configs share a fingerprint;
+//  3. a Config field cleared inside Fingerprint (or excluded via
+//     json:"-") without a matching canonical field on configFingerprint —
+//     the fingerprint stops distinguishing values of that field.
+//
+// Deliberately fingerprint-inert fields (pure observability toggles that
+// cannot change simulated results) carry a //lint:allow proof.
+var Statsjson = &Analyzer{
+	Name: "statsjson",
+	Doc:  "verifies every field behind canonical Stats JSON is covered by Config.Fingerprint()",
+	Applies: func(importPath string) bool {
+		return strings.HasSuffix(importPath, "internal/core")
+	},
+	Run: runStatsjson,
+}
+
+// fieldInfo is one struct field as the analyzer sees it.
+type fieldInfo struct {
+	name     string
+	exported bool
+	jsonSkip bool // tagged json:"-"
+	pos      token.Pos
+}
+
+func runStatsjson(pass *Pass) {
+	structs := map[string][]fieldInfo{}
+	structPos := map[string]token.Pos{}
+	var fingerprintBody *ast.BlockStmt
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := d.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				structs[d.Name.Name] = structFields(st)
+				structPos[d.Name.Name] = d.Pos()
+			case *ast.FuncDecl:
+				if d.Name.Name == "Fingerprint" && d.Recv != nil && recvTypeName(d.Recv) == "Config" {
+					fingerprintBody = d.Body
+				}
+			}
+			return true
+		})
+	}
+
+	anchor := pass.Files[0].Name.Pos()
+	cfgFields, haveCfg := structs["Config"]
+	statsFields, haveStats := structs["Stats"]
+	canonFields, haveCanon := structs["configFingerprint"]
+	if !haveCfg || !haveStats {
+		pass.Reportf(anchor, "package must declare Config and Stats structs (the run-cache key and value schemas)")
+		return
+	}
+	if fingerprintBody == nil {
+		pass.Reportf(structPos["Config"], "Config has no Fingerprint() method; the run cache cannot key on it")
+		return
+	}
+	if !haveCanon {
+		pass.Reportf(structPos["Config"], "missing configFingerprint struct: Fingerprint() has no canonical serialized form to audit against")
+		return
+	}
+
+	// 1. Every Stats field must survive the canonical JSON round trip.
+	for _, fld := range statsFields {
+		if !fld.exported {
+			pass.Reportf(fld.pos, "Stats field %s is unexported: it is dropped from the canonical Stats JSON and silently lost through the run cache", fld.name)
+		} else if fld.jsonSkip {
+			pass.Reportf(fld.pos, "Stats field %s is tagged json:\"-\": cached snapshots will lose it", fld.name)
+		}
+	}
+
+	canonNames := map[string]bool{}
+	for _, fld := range canonFields {
+		canonNames[strings.ToLower(fld.name)] = true
+	}
+
+	// Fields cleared from the shadow Config inside Fingerprint.
+	cleared := clearedFieldNames(fingerprintBody)
+
+	// 2+3. Every Config field must reach the fingerprint: serialized
+	// directly, or cleared/excluded with a canonical replacement.
+	for _, fld := range cfgFields {
+		switch {
+		case !fld.exported:
+			pass.Reportf(fld.pos, "Config field %s is unexported: json.Marshal skips it, so configs differing only in %s share a fingerprint and collide in the run cache", fld.name, fld.name)
+		case fld.jsonSkip && !canonNames[strings.ToLower(fld.name)]:
+			pass.Reportf(fld.pos, "Config field %s is excluded from serialization (json:\"-\") with no canonical %s field on configFingerprint: the fingerprint cannot distinguish its values", fld.name, fld.name)
+		}
+	}
+	for name, pos := range cleared {
+		if !canonNames[strings.ToLower(name)] {
+			pass.Reportf(pos, "Fingerprint clears field %s from the shadow Config but configFingerprint has no canonical %s replacement: its values no longer reach the fingerprint", name, name)
+		}
+	}
+
+	// Reverse direction: canonical fields must replace something real, or
+	// they are dead weight that still perturbs the hash across refactors.
+	for _, fld := range canonFields {
+		if fld.name == "Schema" || fld.name == "Config" {
+			continue
+		}
+		if _, ok := cleared[fld.name]; !ok {
+			pass.Reportf(fld.pos, "configFingerprint field %s does not correspond to any field cleared from the serialized Config inside Fingerprint", fld.name)
+		}
+	}
+}
+
+func structFields(st *ast.StructType) []fieldInfo {
+	var out []fieldInfo
+	for _, f := range st.Fields.List {
+		skip := false
+		if f.Tag != nil {
+			if tag, err := strconv.Unquote(f.Tag.Value); err == nil {
+				jsonTag := reflect.StructTag(tag).Get("json")
+				skip = jsonTag == "-"
+			}
+		}
+		if len(f.Names) == 0 {
+			// Embedded field: name is the type's base identifier.
+			name := embeddedName(f.Type)
+			if name != "" {
+				out = append(out, fieldInfo{name: name, exported: ast.IsExported(name), jsonSkip: skip, pos: f.Pos()})
+			}
+			continue
+		}
+		for _, n := range f.Names {
+			out = append(out, fieldInfo{name: n.Name, exported: n.IsExported(), jsonSkip: skip, pos: n.Pos()})
+		}
+	}
+	return out
+}
+
+func embeddedName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.StarExpr:
+		return embeddedName(v.X)
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	}
+	return ""
+}
+
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	return embeddedName(recv.List[0].Type)
+}
+
+// clearedFieldNames collects the final selector name of every assignment
+// of the form `shadow.X...Y = <expr>` inside Fingerprint — the fields the
+// method strips from the serialized Config before hashing.
+func clearedFieldNames(body *ast.BlockStmt) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				out[sel.Sel.Name] = sel.Pos()
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one import-free source string into a Package.
+func checkSrc(t *testing.T, importPath, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{ImportPath: importPath, Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// TestBareAllowReported pins the directive contract: an allow without a
+// reason is itself a finding and suppresses nothing.
+func TestBareAllowReported(t *testing.T) {
+	pkg := checkSrc(t, "frontsim/internal/stats", `package fixture
+
+func f(a, b float64) bool {
+	//lint:allow
+	return a == b
+}
+`)
+	diags := RunAnalyzers(pkg, []*Analyzer{Floateq})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (bare directive + unsuppressed compare): %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "lint" || !strings.Contains(diags[0].Message, "requires a reason") {
+		t.Errorf("first diagnostic should reject the bare directive, got %s", diags[0])
+	}
+	if diags[1].Analyzer != "floateq" {
+		t.Errorf("bare directive must not suppress the finding below it, got %s", diags[1])
+	}
+}
+
+// TestDiagnosticsSorted pins the stable output order diagnostics print in.
+func TestDiagnosticsSorted(t *testing.T) {
+	pkg := checkSrc(t, "frontsim/internal/stats", `package fixture
+
+func f(a, b, c float64) bool {
+	return a == b || b != c || a == c
+}
+`)
+	diags := RunAnalyzers(pkg, []*Analyzer{Floateq})
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Pos.Column < diags[i-1].Pos.Column {
+			t.Errorf("diagnostics out of column order: %v before %v", diags[i-1], diags[i])
+		}
+	}
+	if !strings.Contains(diags[0].String(), "fixture.go:4:") {
+		t.Errorf("Diagnostic.String missing position: %s", diags[0])
+	}
+}
+
+// TestAnalyzerDocs requires every registered analyzer to carry a name and
+// a doc line — simlint -list is the suite's user-facing contract.
+func TestAnalyzerDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

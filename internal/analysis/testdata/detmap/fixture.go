@@ -1,0 +1,45 @@
+// Package fixture exercises the detmap analyzer: map ranges are flagged,
+// slice/array/channel ranges are not, and a lint:allow with a reason
+// suppresses.
+package fixture
+
+import "sort"
+
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "nondeterministic order"
+		total += v
+	}
+	return total
+}
+
+func flaggedKeysOnly(m map[int]bool) int {
+	n := 0
+	for k := range m { // want "range over map m"
+		n += k
+	}
+	return n
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //lint:allow keys are sorted before any order-dependent use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func notMaps(xs []int, arr [4]int, ch chan int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	for _, v := range arr {
+		total += v
+	}
+	for v := range ch {
+		total += v
+	}
+	return total
+}

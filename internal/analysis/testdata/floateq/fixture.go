@@ -1,0 +1,39 @@
+// Package fixture exercises the floateq analyzer: ==/!= with a
+// floating-point operand is flagged; integer and constant-folded
+// comparisons are not, and ordered rewrites pass.
+package fixture
+
+type ipc float64
+
+func flagged(a, b float64, r ipc) bool {
+	if a == b { // want "== on floating-point values"
+		return true
+	}
+	if a != 0 { // want "!= on floating-point values"
+		return false
+	}
+	return float64(r) == a // want "== on floating-point values"
+}
+
+func namedType(a, b ipc) bool {
+	return a == b // want "== on floating-point values"
+}
+
+func allowed(a, b float64, i, j int) bool {
+	const x = 1.5
+	const y = 3.0 / 2.0
+	if x == y { // constants fold exactly
+		return i == j
+	}
+	if a < b || a > b {
+		return true
+	}
+	return false
+}
+
+func suppressed(denom float64) float64 {
+	if denom == 0 { //lint:allow exact-zero guard before division
+		return 0
+	}
+	return 1 / denom
+}

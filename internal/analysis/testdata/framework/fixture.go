@@ -1,0 +1,20 @@
+// Package fixture exercises the suppression framework itself (run under
+// the floateq analyzer): a reasoned allow covers its own line or the line
+// below; an unrelated directive two lines up covers nothing. Bare allows
+// are covered by TestBareAllowReported in the analysis package.
+package fixture
+
+func aboveLine(a, b float64) bool {
+	//lint:allow a whole-line directive covers the line below it
+	return a == b
+}
+
+func trailing(a, b float64) bool {
+	return a == b //lint:allow a trailing directive covers its own line
+}
+
+func tooFar(a, b float64) bool {
+	//lint:allow a directive two lines up covers nothing
+
+	return a == b // want "== on floating-point values"
+}

@@ -1,0 +1,15 @@
+// Package fixture exercises the norand analyzer: importing math/rand in
+// any form is flagged; crypto/rand is not the same package and passes.
+package fixture
+
+import (
+	"math/rand" // want "simulation randomness must come from internal/xrand"
+
+	crand "crypto/rand"
+)
+
+func use() int {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return rand.Intn(10)
+}

@@ -1,0 +1,3 @@
+package fixture
+
+import _ "math/rand/v2" // want "math/rand/v2"

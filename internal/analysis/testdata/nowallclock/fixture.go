@@ -1,0 +1,25 @@
+// Package fixture exercises the nowallclock analyzer: time.Now and
+// time.Since are flagged, other time functions and constants are not.
+package fixture
+
+import "time"
+
+func flagged() time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock"
+	work()
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func allowed() time.Time {
+	// Constructing times and durations is fine; only reading the host
+	// clock is forbidden.
+	d := 5 * time.Millisecond
+	_ = d
+	return time.Date(2023, time.April, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func suppressed() time.Time {
+	return time.Now() //lint:allow fixture proves a reasoned allow silences the diagnostic
+}
+
+func work() {}

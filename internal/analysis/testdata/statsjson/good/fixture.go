@@ -1,0 +1,34 @@
+// Package fixture is the passing statsjson case: every Config field is
+// serialized or canonically replaced, and every Stats field survives the
+// JSON round trip.
+package fixture
+
+// Prefetcher stands in for the frontend.InstrPrefetcher interface field.
+type Prefetcher interface{ Hint() }
+
+type Config struct {
+	Name     string
+	Depth    int
+	Prefetch Prefetcher
+	Triggers map[uint64][]uint64
+}
+
+type Stats struct {
+	Cycles       int64
+	Instructions int64
+}
+
+type configFingerprint struct {
+	Schema   int
+	Config   Config
+	Prefetch string
+	Triggers []uint64
+}
+
+func (c Config) Fingerprint() string {
+	shadow := c
+	shadow.Prefetch = nil
+	shadow.Triggers = nil
+	_ = shadow
+	return "hash"
+}

@@ -203,7 +203,7 @@ func findSites(g *cfg.Graph, target *cfg.Node, minDist int, opts Options) []Inse
 		if node == nil {
 			continue
 		}
-		for predPC := range node.Preds {
+		for predPC := range node.Preds { //lint:allow states pop in strict (prob, dist, pc) total order regardless of push order; see comment above
 			if _, ok := done[predPC]; ok || predPC == target.PC {
 				continue
 			}
@@ -223,7 +223,7 @@ func findSites(g *cfg.Graph, target *cfg.Node, minDist int, opts Options) []Inse
 		}
 	}
 	out := make([]Insertion, 0, len(done))
-	for pc, r := range done {
+	for pc, r := range done { //lint:allow out is fully sorted below (distance, prob, site); iteration order cannot escape
 		if pc == target.PC || r.dist < minDist {
 			continue
 		}
@@ -243,8 +243,11 @@ func findSites(g *cfg.Graph, target *cfg.Node, minDist int, opts Options) []Inse
 		if out[i].Distance != out[j].Distance {
 			return out[i].Distance > out[j].Distance
 		}
-		if out[i].Prob != out[j].Prob {
-			return out[i].Prob > out[j].Prob
+		if out[i].Prob > out[j].Prob {
+			return true
+		}
+		if out[i].Prob < out[j].Prob {
+			return false
 		}
 		return out[i].Site < out[j].Site
 	})

@@ -12,8 +12,11 @@ type walkState struct {
 // before defines the deterministic pop order: highest probability first,
 // then shortest distance, then lowest PC.
 func (a walkState) before(b walkState) bool {
-	if a.prob != b.prob {
-		return a.prob > b.prob
+	if a.prob > b.prob {
+		return true
+	}
+	if a.prob < b.prob {
+		return false
 	}
 	if a.dist != b.dist {
 		return a.dist < b.dist

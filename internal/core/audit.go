@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+
+	"frontsim/internal/cache"
+)
+
+// AuditViolation is the panic value raised when audit mode detects an
+// invariant violation: a minimal reproduction record — the workload-
+// independent config fingerprint plus the violating cycle — and the
+// violated invariant.
+type AuditViolation struct {
+	Config      string // Config.Name
+	Fingerprint string // Config.Fingerprint()
+	Cycle       cache.Cycle
+	Err         error
+}
+
+// Error renders the repro dump.
+func (v *AuditViolation) Error() string {
+	return fmt.Sprintf("core: AUDIT VIOLATION at cycle %d (config %q, fingerprint %s): %v",
+		v.Cycle, v.Config, v.Fingerprint, v.Err)
+}
+
+// Unwrap exposes the underlying invariant error.
+func (v *AuditViolation) Unwrap() error { return v.Err }
+
+// auditing reports whether this run checks invariants every cycle: the
+// per-run config flag, or globally via the audit build tag (see
+// audit_tag_on.go).
+func (s *Sim) auditing() bool { return s.cfg.Audit || auditBuildTag }
+
+// audit runs the per-cycle invariant checks and panics with an
+// AuditViolation on the first failure. The fingerprint is only computed on
+// the failure path; a clean check allocates nothing.
+func (s *Sim) audit(now cache.Cycle) {
+	if err := s.auditCheck(now); err != nil {
+		panic(&AuditViolation{
+			Config:      s.cfg.Name,
+			Fingerprint: s.cfg.Fingerprint(),
+			Cycle:       now,
+			Err:         err,
+		})
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !audit
+
+package core
+
+// auditBuildTag is off in normal builds; auditing is then governed per run
+// by Config.Audit.
+const auditBuildTag = false

@@ -1,0 +1,8 @@
+//go:build audit
+
+package core
+
+// auditBuildTag forces per-cycle invariant auditing for every Sim in this
+// build, regardless of Config.Audit: `go test -tags audit ./...` turns the
+// whole test suite into an invariant regression run.
+const auditBuildTag = true

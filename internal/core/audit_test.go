@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"frontsim/internal/cache"
+)
+
+// TestAuditCleanRun is the acceptance check for audit mode: the default
+// conservative and FDP configurations run a real workload with per-cycle
+// invariant checking enabled and finish without a violation, and the
+// scenario-partition identity holds in the final stats. It also pins that
+// auditing is observational: stats are identical with it on or off (which
+// is why Config.Audit is excluded from the fingerprint and cache key).
+func TestAuditCleanRun(t *testing.T) {
+	for _, conservative := range []bool{true, false} {
+		name := fmt.Sprintf("cons=%v", conservative)
+		cfg := smallConfig("audited", conservative)
+		cfg.Audit = true
+		audited, err := RunSource(cfg, source(t, "secret_crypto52"))
+		if err != nil {
+			t.Fatalf("%s: audited run failed: %v", name, err)
+		}
+		f := audited.FTQ
+		if got := f.ShootThroughCycles + f.Scenario2Cycles + f.Scenario3Cycles + f.EmptyCycles; got != f.Cycles {
+			t.Errorf("%s: final scenario partition %d != %d ticked cycles", name, got, f.Cycles)
+		}
+		if got := f.Scenario2Cycles + f.Scenario3Cycles; got != f.HeadStallCycles {
+			t.Errorf("%s: scenario 2+3 = %d != %d head-stall cycles", name, got, f.HeadStallCycles)
+		}
+
+		cfg.Audit = false
+		plain, err := RunSource(cfg, source(t, "secret_crypto52"))
+		if err != nil {
+			t.Fatalf("%s: unaudited run failed: %v", name, err)
+		}
+		if audited != plain {
+			t.Errorf("%s: auditing perturbed results:\naudited %+v\nplain   %+v", name, audited, plain)
+		}
+	}
+}
+
+// TestAuditViolationPanics injects a failing check and asserts the panic
+// carries the minimal repro dump: config name, fingerprint, and the
+// violating cycle, with the underlying invariant error unwrappable.
+func TestAuditViolationPanics(t *testing.T) {
+	cfg := smallConfig("broken", false)
+	s, err := New(cfg, source(t, "secret_int_44"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("forged invariant failure")
+	s.auditCheck = func(now cache.Cycle) error {
+		if now == 100 {
+			return sentinel
+		}
+		return nil
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic from failing audit check")
+		}
+		v, ok := r.(*AuditViolation)
+		if !ok {
+			t.Fatalf("panic value %T, want *AuditViolation", r)
+		}
+		if v.Cycle != 100 {
+			t.Errorf("violation cycle %d, want 100", v.Cycle)
+		}
+		if v.Config != "broken" {
+			t.Errorf("violation config %q", v.Config)
+		}
+		if v.Fingerprint != cfg.Fingerprint() {
+			t.Errorf("violation fingerprint %q, want %q", v.Fingerprint, cfg.Fingerprint())
+		}
+		if !errors.Is(v, sentinel) {
+			t.Error("AuditViolation does not unwrap to the invariant error")
+		}
+	}()
+	s.Run()
+}
+
+// TestAuditOffByDefault pins that without the flag (and without the audit
+// build tag) runs carry no per-cycle check at all — the hot loop must not
+// pay for auditing it didn't ask for.
+func TestAuditOffByDefault(t *testing.T) {
+	if auditBuildTag {
+		t.Skip("built with -tags audit: every run audits by design")
+	}
+	s, err := New(smallConfig("plain", false), source(t, "secret_int_44"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.auditCheck != nil {
+		t.Fatal("auditCheck installed without Audit flag or build tag")
+	}
+}

@@ -35,6 +35,14 @@ type Config struct {
 	// Triggers optionally maps trigger PCs to prefetch targets for the
 	// no-insertion-overhead software prefetching mode.
 	Triggers map[isa.Addr][]isa.Addr
+	// Audit enables per-cycle invariant checking: FTQ cycle-conservation
+	// (Scenario 1+2+3+empty == ticked cycles), occupancy bounds, and
+	// in-order-delivery invariants, panicking with a minimal repro dump
+	// (config fingerprint + cycle) on the first violation. Auditing is
+	// pure observation — it cannot change simulated results — so it is
+	// excluded from the fingerprint and audited and unaudited runs share
+	// cache entries. The `audit` build tag forces it on for every run.
+	Audit bool `json:"-"` //lint:allow auditing is observational only; identical results with it on or off is itself audited by TestAuditCleanRun
 }
 
 // DefaultConfig returns the Table I machine with the industry-standard
@@ -138,6 +146,11 @@ type Sim struct {
 	buf      []isa.Instr
 	measured bool
 	startCyc cache.Cycle
+
+	// auditCheck, when non-nil, runs at the end of every cycle and its
+	// error panics the run with an AuditViolation repro dump. It defaults
+	// to the front-end's CheckInvariants; tests inject failures here.
+	auditCheck func(cache.Cycle) error
 }
 
 // New builds a simulator over the given true-path source.
@@ -160,6 +173,9 @@ func New(cfg Config, src trace.Source) (*Sim, error) {
 	}
 	s.fe = fe
 	s.be = be
+	if s.auditing() {
+		s.auditCheck = fe.CheckInvariants
+	}
 	return s, nil
 }
 
@@ -197,6 +213,9 @@ func (s *Sim) Run() (Stats, error) {
 			}
 		}
 		retired := s.be.Retire(s.now)
+		if s.auditCheck != nil {
+			s.audit(s.now)
+		}
 		s.now++
 
 		if retired == 0 {

@@ -13,9 +13,17 @@ import (
 )
 
 // FingerprintSchema versions the canonical serialized form of Config. Bump
-// it whenever Config's shape or the simulator's cycle-level semantics
-// change, so stale run-cache entries (internal/runner) stop matching.
-const FingerprintSchema = 1
+// it whenever Config's shape, the simulator's cycle-level semantics, or
+// the Stats value schema change, so stale run-cache entries
+// (internal/runner) stop matching.
+//
+// Schema history:
+//
+//	1  initial canonical form
+//	2  ftq.Stats gained the per-cycle scenario partition (Cycles,
+//	   Scenario2Cycles, Scenario3Cycles); schema-1 snapshots would decode
+//	   with those counters silently zero
+const FingerprintSchema = 2
 
 // PrefetchFingerprinter lets an attached hardware prefetcher contribute a
 // stable identity to Config.Fingerprint. Prefetchers are constructed fresh
@@ -81,7 +89,7 @@ func canonicalTriggers(m map[isa.Addr][]isa.Addr) []triggerFingerprint {
 		return nil
 	}
 	out := make([]triggerFingerprint, 0, len(m))
-	for site, targets := range m {
+	for site, targets := range m { //lint:allow out is sorted by Site below; iteration order cannot escape
 		out = append(out, triggerFingerprint{Site: site, Targets: targets})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })

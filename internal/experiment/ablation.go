@@ -63,6 +63,7 @@ func sweep(specs []workload.Spec, nCfg int, p Params, mkCfg func(spec workload.S
 				ci := ci
 				sub.Go(func() error {
 					c := mkCfg(spec, ci)
+					c.Audit = p.Audit
 					st, err := runCachedSim(p, baseSimKey(spec, p, c), c, prog)
 					if err != nil {
 						return fmt.Errorf("%s cell %d: %w", spec.Name, ci, err)

@@ -50,6 +50,12 @@ type Params struct {
 	// Cache, when non-nil, is consulted before and filled after every
 	// simulation run. Never part of a cache key itself.
 	Cache *runner.Cache `json:"-"`
+	// Audit turns on per-cycle invariant checking (core.Config.Audit) for
+	// every simulated cell. Observational only: fingerprints, cache keys
+	// and results are identical with it on or off, so it is excluded from
+	// serialized keys. Cached cells are not re-simulated — run against a
+	// cold cache to audit the whole matrix.
+	Audit bool `json:"-"`
 }
 
 // DefaultParams returns the scaled-down defaults.
@@ -91,11 +97,12 @@ type Matrix struct {
 
 // Speedup returns st's IPC normalized to the conservative baseline.
 func (m *Matrix) Speedup(st core.Stats) float64 {
-	base := m.Cons.IPC()
-	if base == 0 {
+	// IPC is zero exactly when nothing was measured; test the integer
+	// counters it is derived from rather than the float.
+	if m.Cons.Cycles == 0 || m.Cons.Instructions == 0 {
 		return 0
 	}
-	return st.IPC() / base
+	return st.IPC() / m.Cons.IPC()
 }
 
 // seriesID indexes the seven per-workload configurations.
@@ -139,8 +146,10 @@ func (m *Matrix) seriesPtr(id seriesID) *core.Stats {
 }
 
 // cacheSchema versions the run-cache key layout. Bump together with
-// core.FingerprintSchema when key semantics change.
-const cacheSchema = 1
+// core.FingerprintSchema when key semantics change. Schema 2: ftq.Stats
+// gained the per-cycle scenario partition, changing the cached Stats value
+// shape.
+const cacheSchema = 2
 
 // Program-variant tags in run-cache keys. The config fingerprint cannot
 // see which instruction stream it runs against, so the key must.
@@ -197,12 +206,14 @@ type matrixKeys struct {
 func (p Params) consConfig() core.Config {
 	c := core.ConservativeConfig()
 	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+	c.Audit = p.Audit
 	return c
 }
 
 func (p Params) fdpConfig() core.Config {
 	c := core.DefaultConfig()
 	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+	c.Audit = p.Audit
 	return c
 }
 

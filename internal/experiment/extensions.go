@@ -33,6 +33,7 @@ func buildPipeline(spec workload.Spec, p Params) (*pipeline, error) {
 	seed := spec.Seed ^ p.ExecSeedSalt
 	baseCfg := core.ConservativeConfig()
 	baseCfg.WarmupInstrs, baseCfg.MaxInstrs = p.WarmupInstrs/2+1, p.MeasureInstrs/2+1
+	baseCfg.Audit = p.Audit
 	base, err := core.RunSource(baseCfg, program.NewExecutor(prog, seed))
 	if err != nil {
 		return nil, err
@@ -50,6 +51,7 @@ func buildPipeline(spec workload.Spec, p Params) (*pipeline, error) {
 
 func (pl *pipeline) run(c core.Config, prog *program.Program, p Params) (core.Stats, error) {
 	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+	c.Audit = p.Audit
 	return core.RunSource(c, program.NewExecutor(prog, pl.seed))
 }
 
@@ -163,6 +165,7 @@ func ExtensionFeedback(specs []workload.Spec, p Params) (*stats.Table, error) {
 		}
 		eval := core.DefaultConfig()
 		eval.WarmupInstrs, eval.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+		eval.Audit = p.Audit
 		opts := feedback.DefaultOptions(eval, pl.seed)
 		res, err := feedback.Tune(pl.prog, pl.graph, opts)
 		if err != nil {
@@ -180,7 +183,7 @@ func ExtensionFeedback(specs []workload.Spec, p Params) (*stats.Table, error) {
 }
 
 func ratio(a, b float64) float64 {
-	if b == 0 {
+	if b == 0 { //lint:allow exact-zero guard before division; any nonzero b, however small, must divide
 		return 0
 	}
 	return a / b

@@ -1,0 +1,34 @@
+package frontend
+
+import (
+	"fmt"
+
+	"frontsim/internal/cache"
+)
+
+// CheckInvariants audits the front-end's structural invariants as of cycle
+// now (after Cycle ran for that cycle), then delegates to the FTQ's
+// checks. It returns the first violation, or nil; audit mode calls it
+// every cycle, so the success path allocates nothing.
+func (f *Frontend) CheckInvariants(now cache.Cycle) error {
+	// The pending software-prefetch queue must be a well-formed min-heap:
+	// a violated heap property releases prefetches out of cycle order and
+	// feeds the hierarchy's bandwidth model non-chronologically.
+	items := f.pending.items
+	for i := 1; i < len(items); i++ {
+		parent := (i - 1) / 2
+		if items[parent].at > items[i].at {
+			return fmt.Errorf("frontend: prefetch heap property broken at index %d (parent due %d > child due %d)", i, items[parent].at, items[i].at)
+		}
+	}
+	// Stall bookkeeping: a resolution-waiting stall must reference a
+	// filled sequence number, and fill must never have run past the
+	// divergence it is supposedly stalled on.
+	if f.stalled && f.stallSeq >= 0 && f.stallSeq >= f.seq {
+		return fmt.Errorf("frontend: stalled on branch seq %d which has not been filled (next seq %d)", f.stallSeq, f.seq)
+	}
+	if f.stats.BlocksFilled < 0 || f.stats.InstrsFilled < f.stats.BlocksFilled {
+		return fmt.Errorf("frontend: fill accounting broken: %d blocks but %d instructions", f.stats.BlocksFilled, f.stats.InstrsFilled)
+	}
+	return f.q.CheckInvariants(now)
+}

@@ -1,0 +1,76 @@
+package ftq
+
+import (
+	"fmt"
+
+	"frontsim/internal/cache"
+)
+
+// CheckInvariants audits the queue's structural and accounting invariants
+// as of cycle now (called after Tick for that cycle). It returns the first
+// violation found, or nil. The checks cover:
+//
+//   - occupancy: 0 <= Len() <= Cap();
+//   - cycle conservation: every ticked cycle classified as exactly one of
+//     Scenario 1 (shoot-through) / 2 / 3 / empty, and the head-stall total
+//     equal to Scenario 2 + Scenario 3 — a double- or un-counted cycle
+//     breaks one of the two identities;
+//   - in-order delivery: no follower has sent instructions to decode, and
+//     only the head may be a Scenario-3 partial; the head itself may only
+//     have consumed instructions once its fetch completed;
+//   - FIFO issue order: entries were pushed at non-decreasing cycles, and
+//     no entry issued in the future;
+//   - line accounting: every resident entry's cache lines hold a live
+//     reference in the merge table.
+//
+// Audit mode (core.Config.Audit or the audit build tag) calls this every
+// cycle; it allocates nothing on the success path.
+func (q *FTQ) CheckInvariants(now cache.Cycle) error {
+	if q.size < 0 || q.size > len(q.entries) {
+		return fmt.Errorf("ftq: occupancy %d outside [0, %d]", q.size, len(q.entries))
+	}
+	s := &q.stats
+	if got := s.ShootThroughCycles + s.Scenario2Cycles + s.Scenario3Cycles + s.EmptyCycles; got != s.Cycles {
+		return fmt.Errorf("ftq: cycle partition broken: shoot-through %d + scenario2 %d + scenario3 %d + empty %d = %d, want %d ticked cycles",
+			s.ShootThroughCycles, s.Scenario2Cycles, s.Scenario3Cycles, s.EmptyCycles, got, s.Cycles)
+	}
+	if got := s.Scenario2Cycles + s.Scenario3Cycles; got != s.HeadStallCycles {
+		return fmt.Errorf("ftq: head-stall split broken: scenario2 %d + scenario3 %d = %d, want %d head-stall cycles",
+			s.Scenario2Cycles, s.Scenario3Cycles, got, s.HeadStallCycles)
+	}
+	if s.Pushed < 0 || s.Instructions < 0 || s.WaitingEntries < 0 || s.WaitingEntryCycles < 0 {
+		return fmt.Errorf("ftq: negative counter in %+v", *s)
+	}
+	for i := 0; i < q.size; i++ {
+		e := q.at(i)
+		if e.n <= 0 || e.n > MaxBlockInstrs {
+			return fmt.Errorf("ftq: entry %d (pc %#x) holds %d instructions, want 1..%d", i, uint64(e.pc), e.n, MaxBlockInstrs)
+		}
+		if e.consumed < 0 || e.consumed > e.n {
+			return fmt.Errorf("ftq: entry %d (pc %#x) consumed %d of %d instructions", i, uint64(e.pc), e.consumed, e.n)
+		}
+		if e.issue > now {
+			return fmt.Errorf("ftq: entry %d (pc %#x) issued at future cycle %d (now %d)", i, uint64(e.pc), e.issue, now)
+		}
+		if i > 0 {
+			if e.consumed != 0 {
+				return fmt.Errorf("ftq: follower %d (pc %#x) sent %d instructions to decode before its head finished", i, uint64(e.pc), e.consumed)
+			}
+			if e.partial {
+				return fmt.Errorf("ftq: follower %d (pc %#x) marked as a promoted (Scenario 3) head", i, uint64(e.pc))
+			}
+			if prev := q.at(i - 1); e.issue < prev.issue {
+				return fmt.Errorf("ftq: entry %d (pc %#x, issue %d) pushed before its predecessor (issue %d)", i, uint64(e.pc), e.issue, prev.issue)
+			}
+		} else if e.consumed > 0 && e.ready > now {
+			return fmt.Errorf("ftq: head (pc %#x) sent %d instructions to decode but its fetch completes at %d (now %d)", uint64(e.pc), e.consumed, e.ready, now)
+		}
+		for j := 0; j < e.nlines; j++ {
+			ref, ok := q.lineRefs[e.lines[j]]
+			if !ok || ref.count <= 0 {
+				return fmt.Errorf("ftq: entry %d (pc %#x) line %#x has no live merge-table reference", i, uint64(e.pc), uint64(e.lines[j]))
+			}
+		}
+	}
+	return nil
+}

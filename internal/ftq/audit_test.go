@@ -1,0 +1,135 @@
+package ftq
+
+import (
+	"strings"
+	"testing"
+
+	"frontsim/internal/cache"
+	"frontsim/internal/isa"
+	"frontsim/internal/xrand"
+)
+
+// TestAuditCleanRandomRuns drives randomized push/pop/flush traffic and
+// asserts CheckInvariants holds after every single cycle: the scenario
+// partition is a per-cycle identity, not just an end-of-run one.
+func TestAuditCleanRandomRuns(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1234} {
+		r := xrand.New(seed)
+		q := New(1 + r.Intn(8))
+		fetch := func(line isa.Addr, now cache.Cycle) cache.Cycle {
+			return now + cache.Cycle(r.Intn(300))
+		}
+		pc := isa.Addr(0x1000)
+		for now := cache.Cycle(1); now <= 2000; now++ {
+			if !q.Full() && r.Bool(0.6) {
+				n := 1 + r.Intn(MaxBlockInstrs)
+				q.Push(block(pc, n), now, fetch)
+				pc += isa.Addr(n * isa.InstrSize)
+			}
+			if r.Bool(0.5) {
+				q.PopReady(now, 1+r.Intn(8), nil)
+			}
+			if r.Bool(0.01) {
+				q.Flush()
+			}
+			q.Tick(now)
+			if err := q.CheckInvariants(now); err != nil {
+				t.Fatalf("seed %d cycle %d: %v", seed, now, err)
+			}
+		}
+	}
+}
+
+// TestAuditCatchesDoubleCount corrupts the accounting the way a buggy Tick
+// would — classifying one cycle as both shoot-through and head-stall — and
+// requires the auditor to reject it. This is the deliberately-broken
+// fixture proving the conservation check has teeth.
+func TestAuditCatchesDoubleCount(t *testing.T) {
+	q := New(4)
+	q.Push(block(0x1000, 4), 0, fetchAt(5, nil))
+	for now := cache.Cycle(0); now < 20; now++ {
+		q.Tick(now)
+	}
+	if err := q.CheckInvariants(20); err != nil {
+		t.Fatalf("invariants must hold before corruption: %v", err)
+	}
+	q.stats.ShootThroughCycles++ // the double-count
+	err := q.CheckInvariants(20)
+	if err == nil {
+		t.Fatal("auditor accepted a double-counted cycle")
+	}
+	if !strings.Contains(err.Error(), "cycle partition broken") {
+		t.Fatalf("wrong violation: %v", err)
+	}
+}
+
+// TestAuditCatchesStallSplitDrift corrupts the Scenario 2/3 split without
+// touching the top-level partition; the secondary identity must catch it.
+func TestAuditCatchesStallSplitDrift(t *testing.T) {
+	q := New(4)
+	q.Push(block(0x1000, 4), 0, fetchAt(50, nil))
+	for now := cache.Cycle(0); now < 20; now++ {
+		q.Tick(now)
+	}
+	q.stats.Scenario2Cycles++
+	q.stats.Scenario3Cycles--
+	if err := q.CheckInvariants(20); err != nil {
+		t.Fatalf("compensating drift within the split is invisible to identities: %v", err)
+	}
+	q.stats.Scenario3Cycles-- // now HeadStall != S2+S3 but partition still off too
+	q.stats.EmptyCycles++     // repair the partition so only the split check fires
+	err := q.CheckInvariants(20)
+	if err == nil {
+		t.Fatal("auditor accepted a broken head-stall split")
+	}
+	if !strings.Contains(err.Error(), "head-stall split broken") {
+		t.Fatalf("wrong violation: %v", err)
+	}
+}
+
+// TestAuditCatchesFollowerDelivery forges a follower that delivered
+// instructions to decode ahead of its stalling head — the in-order
+// contract violation the audit layer exists to catch.
+func TestAuditCatchesFollowerDelivery(t *testing.T) {
+	q := New(4)
+	lat := map[isa.Addr]cache.Cycle{0x1000: 100, 0x2000: 5}
+	fetch := func(line isa.Addr, now cache.Cycle) cache.Cycle { return now + lat[line.Line()] }
+	q.Push(block(0x1000, 2), 0, fetch)
+	q.Push(block(0x2000, 2), 0, fetch)
+	q.at(1).consumed = 1 // follower "delivered" past the stalled head
+	err := q.CheckInvariants(10)
+	if err == nil {
+		t.Fatal("auditor accepted out-of-order delivery")
+	}
+	if !strings.Contains(err.Error(), "before its head finished") {
+		t.Fatalf("wrong violation: %v", err)
+	}
+}
+
+// TestAuditCatchesLineRefLeak drops a resident entry's merge-table
+// reference, as a refcount bug in retire/Flush would.
+func TestAuditCatchesLineRefLeak(t *testing.T) {
+	q := New(4)
+	q.Push(block(0x1000, 4), 0, fetchAt(5, nil))
+	clear(q.lineRefs)
+	err := q.CheckInvariants(1)
+	if err == nil {
+		t.Fatal("auditor accepted a dangling line reference")
+	}
+	if !strings.Contains(err.Error(), "no live merge-table reference") {
+		t.Fatalf("wrong violation: %v", err)
+	}
+}
+
+// TestAuditCatchesOccupancyCorruption drives size outside [0, cap].
+func TestAuditCatchesOccupancyCorruption(t *testing.T) {
+	q := New(2)
+	q.size = 3
+	if err := q.CheckInvariants(0); err == nil {
+		t.Fatal("auditor accepted occupancy above capacity")
+	}
+	q.size = -1
+	if err := q.CheckInvariants(0); err == nil {
+		t.Fatal("auditor accepted negative occupancy")
+	}
+}

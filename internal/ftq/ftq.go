@@ -65,11 +65,27 @@ type Stats struct {
 	// Instructions counts instructions dequeued to decode.
 	Instructions int64
 
+	// Cycles counts Tick calls — the denominator of the scenario
+	// partition. Every ticked cycle is classified as exactly one of
+	// Scenario 1 (shoot-through), Scenario 2, Scenario 3, or empty, so
+	// ShootThroughCycles + Scenario2Cycles + Scenario3Cycles +
+	// EmptyCycles == Cycles is a conservation identity the audit mode
+	// (CheckInvariants) asserts every cycle.
+	Cycles int64
+
 	// HeadStallCycles: cycles a non-empty FTQ spent with an incomplete
-	// head entry (Fig. 9).
+	// head entry (Fig. 9); always Scenario2Cycles + Scenario3Cycles.
 	HeadStallCycles int64
 	// ShootThroughCycles: cycles with a ready head (Scenario 1).
 	ShootThroughCycles int64
+	// Scenario2Cycles: head-stall cycles with at least one completed
+	// follower buffered behind the stalling head (the paper's Scenario 2:
+	// the queue holds finished work the stall is blocking).
+	Scenario2Cycles int64
+	// Scenario3Cycles: head-stall cycles with no completed follower — the
+	// head was promoted before its fetch finished and nothing behind it is
+	// ready either (the paper's Scenario 3 shadow stalls).
+	Scenario3Cycles int64
 	// EmptyCycles: cycles with no entries (fill-side limited).
 	EmptyCycles int64
 
@@ -292,16 +308,24 @@ func (q *FTQ) promote(now cache.Cycle) {
 // Tick accounts one cycle of FTQ state; the front-end calls it exactly once
 // per cycle.
 func (q *FTQ) Tick(now cache.Cycle) {
+	q.stats.Cycles++
 	if q.size == 0 {
 		q.stats.EmptyCycles++
 		return
 	}
 	if q.at(0).ready > now {
 		q.stats.HeadStallCycles++
+		waiting := 0
 		for i := 1; i < q.size; i++ {
 			if q.at(i).ready <= now {
-				q.stats.WaitingEntryCycles++
+				waiting++
 			}
+		}
+		q.stats.WaitingEntryCycles += int64(waiting)
+		if waiting > 0 {
+			q.stats.Scenario2Cycles++
+		} else {
+			q.stats.Scenario3Cycles++
 		}
 	} else {
 		q.stats.ShootThroughCycles++
@@ -373,7 +397,5 @@ func (q *FTQ) retire(e *Entry) {
 func (q *FTQ) Flush() {
 	q.head = 0
 	q.size = 0
-	for k := range q.lineRefs {
-		delete(q.lineRefs, k)
-	}
+	clear(q.lineRefs)
 }
