@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race audit vet check
+.PHONY: all build lint test race audit vet check obs-smoke
 
 all: check
 
@@ -29,4 +29,18 @@ audit:
 vet:
 	$(GO) vet ./...
 
-check: vet build lint race audit
+# obs-smoke proves observation is purely observational end to end: the
+# same short run with and without -obs must print byte-identical JSON
+# statistics, while the -obs run leaves a sample/event/metrics bundle.
+obs-smoke:
+	rm -rf /tmp/frontsim-obs-smoke && mkdir -p /tmp/frontsim-obs-smoke
+	$(GO) run ./cmd/fesim -workload secret_srv12 -instrs 120000 -warmup 30000 -json > /tmp/frontsim-obs-smoke/off.json
+	$(GO) run ./cmd/fesim -workload secret_srv12 -instrs 120000 -warmup 30000 -json \
+		-obs -obs-dir /tmp/frontsim-obs-smoke/bundle -obs-stride 16 > /tmp/frontsim-obs-smoke/on.json
+	cmp /tmp/frontsim-obs-smoke/off.json /tmp/frontsim-obs-smoke/on.json
+	test -s /tmp/frontsim-obs-smoke/bundle/secret_srv12.samples.jsonl
+	test -s /tmp/frontsim-obs-smoke/bundle/secret_srv12.metrics.json
+	test -s /tmp/frontsim-obs-smoke/bundle/secret_srv12.metrics.prom
+	@echo "obs-smoke: stats byte-identical with observation on/off"
+
+check: vet build lint race audit obs-smoke

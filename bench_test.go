@@ -18,6 +18,7 @@ import (
 	"frontsim/internal/experiment"
 	"frontsim/internal/feedback"
 	"frontsim/internal/hwpf"
+	"frontsim/internal/obs"
 	"frontsim/internal/preload"
 	"frontsim/internal/program"
 	"frontsim/internal/runner"
@@ -433,4 +434,44 @@ func BenchmarkHWPrefetchers(b *testing.B) {
 	}
 	b.ReportMetric(nlIPC, "nextline-ipc")
 	b.ReportMetric(eipIPC, "eip-ipc")
+}
+
+// BenchmarkSimObsOverhead measures the cost of the observability layer in
+// its three regimes: sink absent (every hook is one nil compare — the
+// regime all normal runs pay), a realistic stride-64 sampler, and the
+// worst-case stride-1 sampler with the event stream discarded into the
+// ring. off vs the historical run loop is the ≤2% acceptance bound.
+func BenchmarkSimObsOverhead(b *testing.B) {
+	spec, _ := workload.Lookup("secret_srv12")
+	prog, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func() core.Config {
+		c := core.DefaultConfig()
+		c.WarmupInstrs = 0
+		c.MaxInstrs = 300_000
+		return c
+	}
+	run := func(b *testing.B, sink func() *obs.Observer) {
+		for i := 0; i < b.N; i++ {
+			c := mk()
+			if sink != nil {
+				c.Obs = sink()
+			}
+			st, err := core.RunSource(c, program.NewExecutor(prog, 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = st
+		}
+		b.ReportMetric(float64(mk().MaxInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("stride64", func(b *testing.B) {
+		run(b, func() *obs.Observer { return obs.NewObserver(obs.Options{Stride: 64}) })
+	})
+	b.Run("stride1", func(b *testing.B) {
+		run(b, func() *obs.Observer { return obs.NewObserver(obs.Options{Stride: 1}) })
+	})
 }

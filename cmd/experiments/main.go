@@ -15,14 +15,18 @@
 package main
 
 import (
+	_ "expvar" // expvar JSON on /debug/vars when -http is set
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // profiling on /debug/pprof when -http is set
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"frontsim/internal/experiment"
+	"frontsim/internal/obs"
 	"frontsim/internal/runner"
 	"frontsim/internal/stats"
 	"frontsim/internal/workload"
@@ -45,6 +49,10 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		audit    = flag.Bool("audit", false, "check simulator invariants every cycle (FTQ cycle conservation, ordering); panics with a repro dump on violation")
+		obsOn    = flag.Bool("obs", false, "record observability bundles per live run plus suite metrics.json/metrics.prom")
+		obsDir   = flag.String("obs-dir", filepath.Join("results", "obs"), "directory for -obs output files")
+		obsStrd  = flag.Int64("obs-stride", 64, "cycles between time-series samples under -obs")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/pprof and /debug/vars on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -72,10 +80,89 @@ func main() {
 		}()
 	}
 
-	if err := run(*figure, *table, *ablation, *ext, *n, p, *csvDir, *quiet); err != nil {
+	var col *obs.SuiteCollector
+	if *obsOn {
+		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: obs dir:", err)
+			os.Exit(1)
+		}
+		col = &obs.SuiteCollector{}
+		p.Obs = col
+		p.ObsRun = fileObsFactory(*obsDir, *obsStrd)
+	}
+	if *httpAddr != "" {
+		serveHTTP(*httpAddr, col)
+	}
+
+	err := run(*figure, *table, *ablation, *ext, *n, p, *csvDir, *quiet)
+	if col != nil {
+		if eerr := writeObsExports(*obsDir, col); eerr != nil && err == nil {
+			err = eerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// fileObsFactory hands each live run a file-backed observer writing its
+// sample/event bundle under dir; cached cells never reach it.
+func fileObsFactory(dir string, stride int64) func(workload, series string) obs.Sink {
+	return func(workload, series string) obs.Sink {
+		fo, err := obs.NewFileObserver(dir, workload+"__"+series, obs.Options{Stride: stride})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: observer:", err)
+			return nil
+		}
+		return fo
+	}
+}
+
+// writeObsExports writes the suite-level metric rollup (per-run points plus
+// mean/min/max/p50/p95 aggregates) as canonical JSON and Prometheus text.
+func writeObsExports(dir string, col *obs.SuiteCollector) error {
+	ms := col.Export()
+	jf, err := os.Create(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		return err
+	}
+	if err := ms.WriteJSON(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		return err
+	}
+	if err := ms.WritePrometheus(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	return pf.Close()
+}
+
+// serveHTTP exposes live metrics plus the stdlib pprof and expvar debug
+// pages in the background for long suite runs.
+func serveHTTP(addr string, col *obs.SuiteCollector) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		var ms obs.MetricSet
+		if col != nil {
+			ms = col.Export()
+		}
+		if err := ms.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: http:", err)
+		}
+	}()
 }
 
 func run(figure, table int, ablation, ext string, n int, p experiment.Params, csvDir string, quiet bool) error {

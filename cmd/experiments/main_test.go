@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"frontsim/internal/experiment"
+	"frontsim/internal/obs"
 )
 
 func tinyParams() experiment.Params {
@@ -53,6 +54,39 @@ func TestRunUnknownAblation(t *testing.T) {
 func TestRunUnknownExtension(t *testing.T) {
 	if err := run(0, 0, "", "nope", 1, tinyParams(), "", true); err == nil {
 		t.Fatal("accepted unknown extension")
+	}
+}
+
+func TestRunWithObsCollectsAndExports(t *testing.T) {
+	dir := t.TempDir()
+	p := tinyParams()
+	col := &obs.SuiteCollector{}
+	p.Obs = col
+	p.ObsRun = fileObsFactory(dir, 64)
+	if err := run(1, 0, "", "", 1, p, "", true); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() == 0 {
+		t.Fatal("suite collector recorded no runs")
+	}
+	if err := writeObsExports(dir, col); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"metrics.json", "metrics.prom"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing export %s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("export %s is empty", name)
+		}
+	}
+	bundles, err := filepath.Glob(filepath.Join(dir, "*.samples.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) == 0 {
+		t.Fatal("no per-run sample bundles written")
 	}
 }
 

@@ -6,6 +6,7 @@
 //	fesim -workload secret_srv12 -ftq 24 -instrs 1500000 -warmup 500000
 //	fesim -workload secret_int_44 -ftq 2 -no-pfc
 //	fesim -trace trace.fsim.gz -ftq 24
+//	fesim -workload secret_srv12 -obs -obs-dir out -obs-stride 64
 package main
 
 import (
@@ -13,26 +14,48 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"frontsim/internal/core"
 	"frontsim/internal/hwpf"
+	"frontsim/internal/obs"
 	"frontsim/internal/trace"
 	"frontsim/internal/workload"
 )
 
+// options collects everything the command-line surface controls; run takes
+// it whole so tests can exercise arbitrary combinations.
+type options struct {
+	workload  string
+	tracePath string
+	ftq       int
+	instrs    int64
+	warmup    int64
+	noPFC     bool
+	noGHR     bool
+	hwpf      string
+	json      bool
+
+	obs       bool
+	obsDir    string
+	obsStride int64
+}
+
 func main() {
-	var (
-		workloadName = flag.String("workload", "secret_srv12", "suite workload name (see -list)")
-		tracePath    = flag.String("trace", "", "run a serialized trace file instead of a suite workload")
-		list         = flag.Bool("list", false, "list suite workloads and exit")
-		ftq          = flag.Int("ftq", 24, "FTQ depth (2 = paper's conservative front-end)")
-		instrs       = flag.Int64("instrs", 1_500_000, "measured program instructions")
-		warmup       = flag.Int64("warmup", 500_000, "warmup instructions excluded from statistics")
-		noPFC        = flag.Bool("no-pfc", false, "disable post-fetch correction")
-		noGHRFilter  = flag.Bool("no-ghr-filter", false, "disable GHR not-taken/BTB-miss filtering")
-		hw           = flag.String("hwpf", "none", "hardware L1-I prefetcher: none, nextline, eip")
-		asJSON       = flag.Bool("json", false, "emit the statistics snapshot as JSON")
-	)
+	var o options
+	flag.StringVar(&o.workload, "workload", "secret_srv12", "suite workload name (see -list)")
+	flag.StringVar(&o.tracePath, "trace", "", "run a serialized trace file instead of a suite workload")
+	list := flag.Bool("list", false, "list suite workloads and exit")
+	flag.IntVar(&o.ftq, "ftq", 24, "FTQ depth (2 = paper's conservative front-end)")
+	flag.Int64Var(&o.instrs, "instrs", 1_500_000, "measured program instructions")
+	flag.Int64Var(&o.warmup, "warmup", 500_000, "warmup instructions excluded from statistics")
+	flag.BoolVar(&o.noPFC, "no-pfc", false, "disable post-fetch correction")
+	flag.BoolVar(&o.noGHR, "no-ghr-filter", false, "disable GHR not-taken/BTB-miss filtering")
+	flag.StringVar(&o.hwpf, "hwpf", "none", "hardware L1-I prefetcher: none, nextline, eip")
+	flag.BoolVar(&o.json, "json", false, "emit the statistics snapshot as JSON")
+	flag.BoolVar(&o.obs, "obs", false, "record an observability bundle: per-cycle samples, front-end events, metrics")
+	flag.StringVar(&o.obsDir, "obs-dir", "obs", "directory for -obs output files")
+	flag.Int64Var(&o.obsStride, "obs-stride", 64, "cycles between time-series samples under -obs")
 	flag.Parse()
 
 	if *list {
@@ -42,22 +65,22 @@ func main() {
 		}
 		return
 	}
-	if err := run(*workloadName, *tracePath, *ftq, *instrs, *warmup, *noPFC, *noGHRFilter, *hw, *asJSON); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "fesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, tracePath string, ftq int, instrs, warmup int64, noPFC, noGHRFilter bool, hw string, asJSON bool) error {
+func run(o options) error {
 	cfg := core.DefaultConfig()
-	cfg.Name = fmt.Sprintf("ftq%d", ftq)
-	cfg.Frontend.FTQEntries = ftq
-	cfg.Frontend.EnablePFC = !noPFC
-	cfg.Frontend.BPU.FilterGHR = !noGHRFilter
-	cfg.WarmupInstrs = warmup
-	cfg.MaxInstrs = instrs
+	cfg.Name = fmt.Sprintf("ftq%d", o.ftq)
+	cfg.Frontend.FTQEntries = o.ftq
+	cfg.Frontend.EnablePFC = !o.noPFC
+	cfg.Frontend.BPU.FilterGHR = !o.noGHR
+	cfg.WarmupInstrs = o.warmup
+	cfg.MaxInstrs = o.instrs
 
-	switch hw {
+	switch o.hwpf {
 	case "none":
 	case "nextline":
 		cfg.Frontend.Prefetcher = hwpf.NewNextLine(2)
@@ -68,12 +91,14 @@ func run(name, tracePath string, ftq int, instrs, warmup int64, noPFC, noGHRFilt
 		}
 		cfg.Frontend.Prefetcher = eip
 	default:
-		return fmt.Errorf("unknown -hwpf %q", hw)
+		return fmt.Errorf("unknown -hwpf %q", o.hwpf)
 	}
 
 	var src trace.Source
-	if tracePath != "" {
-		f, err := os.Open(tracePath)
+	label := o.workload
+	if o.tracePath != "" {
+		label = "trace"
+		f, err := os.Open(o.tracePath)
 		if err != nil {
 			return err
 		}
@@ -84,9 +109,9 @@ func run(name, tracePath string, ftq int, instrs, warmup int64, noPFC, noGHRFilt
 		}
 		src = r
 	} else {
-		spec, ok := workload.Lookup(name)
+		spec, ok := workload.Lookup(o.workload)
 		if !ok {
-			return fmt.Errorf("unknown workload %q (try -list)", name)
+			return fmt.Errorf("unknown workload %q (try -list)", o.workload)
 		}
 		s, err := spec.NewSource()
 		if err != nil {
@@ -95,17 +120,69 @@ func run(name, tracePath string, ftq int, instrs, warmup int64, noPFC, noGHRFilt
 		src = s
 	}
 
+	var fo *obs.FileObserver
+	if o.obs {
+		var err error
+		fo, err = obs.NewFileObserver(o.obsDir, label, obs.Options{Stride: o.obsStride})
+		if err != nil {
+			return err
+		}
+		cfg.Obs = fo
+	}
+
 	st, err := core.RunSource(cfg, src)
 	if err != nil {
 		return err
 	}
-	if asJSON {
+	if fo != nil {
+		if err := fo.Close(); err != nil {
+			return fmt.Errorf("closing observer: %w", err)
+		}
+		if err := writeMetrics(o.obsDir, label, &st, fo); err != nil {
+			return err
+		}
+	}
+	if o.json {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(jsonStats(st))
 	}
 	fmt.Print(st.Summary())
 	return nil
+}
+
+// writeMetrics exports the run's metrics — the snapshot's headline series
+// plus the observer's event counters — as canonical JSON and Prometheus
+// text next to the sample/event files.
+func writeMetrics(dir, label string, st *core.Stats, fo *obs.FileObserver) error {
+	labels := []obs.Label{
+		{Key: "workload", Value: label},
+		{Key: "config", Value: st.Config},
+	}
+	ms := st.MetricSet(labels...)
+	ms = append(ms, fo.EventCountsMetricSet(labels...)...)
+	ms.Sort()
+	base := filepath.Join(dir, obs.SanitizeLabel(label)+".metrics")
+	jf, err := os.Create(base + ".json")
+	if err != nil {
+		return err
+	}
+	if err := ms.WriteJSON(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	pf, err := os.Create(base + ".prom")
+	if err != nil {
+		return err
+	}
+	if err := ms.WritePrometheus(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	return pf.Close()
 }
 
 // jsonStats augments the raw counters with the derived headline metrics so

@@ -9,34 +9,60 @@ import (
 	"frontsim/internal/workload"
 )
 
+func testOpts() options {
+	return options{
+		workload: "secret_crypto52",
+		ftq:      24,
+		instrs:   120_000,
+		warmup:   30_000,
+		hwpf:     "none",
+	}
+}
+
 func TestRunSuiteWorkload(t *testing.T) {
 	for _, hw := range []string{"none", "nextline", "eip"} {
-		if err := run("secret_crypto52", "", 24, 120_000, 30_000, false, false, hw, false); err != nil {
+		o := testOpts()
+		o.hwpf = hw
+		if err := run(o); err != nil {
 			t.Fatalf("hw=%s: %v", hw, err)
 		}
 	}
 }
 
 func TestRunConservativeNoPFC(t *testing.T) {
-	if err := run("secret_crypto52", "", 2, 100_000, 20_000, true, true, "none", false); err != nil {
+	o := testOpts()
+	o.ftq = 2
+	o.instrs = 100_000
+	o.warmup = 20_000
+	o.noPFC = true
+	o.noGHR = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
-	if err := run("secret_crypto52", "", 24, 80_000, 20_000, false, false, "none", true); err != nil {
+	o := testOpts()
+	o.instrs = 80_000
+	o.warmup = 20_000
+	o.json = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownWorkload(t *testing.T) {
-	if err := run("nope", "", 24, 1000, 0, false, false, "none", false); err == nil {
+	o := testOpts()
+	o.workload = "nope"
+	if err := run(o); err == nil {
 		t.Fatal("accepted unknown workload")
 	}
 }
 
 func TestRunRejectsUnknownHWPF(t *testing.T) {
-	if err := run("secret_crypto52", "", 24, 1000, 0, false, false, "warp", false); err == nil {
+	o := testOpts()
+	o.hwpf = "warp"
+	if err := run(o); err == nil {
 		t.Fatal("accepted unknown prefetcher")
 	}
 }
@@ -65,13 +91,48 @@ func TestRunFromTraceFile(t *testing.T) {
 	}
 	f.Close()
 
-	if err := run("", path, 24, 100_000, 20_000, false, false, "none", false); err != nil {
+	o := testOpts()
+	o.workload = ""
+	o.tracePath = path
+	o.instrs = 100_000
+	o.warmup = 20_000
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingTraceFile(t *testing.T) {
-	if err := run("", "/nonexistent/trace.gz", 24, 1000, 0, false, false, "none", false); err == nil {
+	o := testOpts()
+	o.workload = ""
+	o.tracePath = "/nonexistent/trace.gz"
+	if err := run(o); err == nil {
 		t.Fatal("accepted missing trace file")
+	}
+}
+
+func TestRunWithObsWritesBundle(t *testing.T) {
+	dir := t.TempDir()
+	o := testOpts()
+	o.instrs = 80_000
+	o.warmup = 20_000
+	o.obs = true
+	o.obsDir = dir
+	o.obsStride = 16
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"secret_crypto52.events.jsonl",
+		"secret_crypto52.samples.jsonl",
+		"secret_crypto52.metrics.json",
+		"secret_crypto52.metrics.prom",
+	} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing obs output %s: %v", name, err)
+		}
+		if name != "secret_crypto52.events.jsonl" && fi.Size() == 0 {
+			t.Fatalf("obs output %s is empty", name)
+		}
 	}
 }

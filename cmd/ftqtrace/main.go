@@ -8,7 +8,11 @@
 //
 // where each cell is one FTQ slot from the head: 'R' fetched and ready,
 // '.' still fetching, '_' empty. The state column names the paper's
-// scenario for that cycle.
+// scenario for that cycle. Front-end events (flushes, redirects, PFC
+// corrections, merges) landing on a cycle are appended to its line.
+//
+// The timeline is driven entirely by the obs stride-1 sample/event stream
+// from core.Sim — ftqtrace holds no private copy of the cycle loop.
 //
 // Usage:
 //
@@ -21,11 +25,8 @@ import (
 	"os"
 	"strings"
 
-	"frontsim/internal/backend"
-	"frontsim/internal/cache"
 	"frontsim/internal/core"
-	"frontsim/internal/frontend"
-	"frontsim/internal/isa"
+	"frontsim/internal/obs"
 	"frontsim/internal/workload"
 )
 
@@ -43,6 +44,68 @@ func main() {
 	}
 }
 
+// timelineSink renders each stride-1 obs.Sample as one timeline line,
+// annotated with the front-end events that fired since the previous
+// sample. It prints nothing until enabled.
+type timelineSink struct {
+	w       *os.File
+	cap     int
+	enabled bool
+	pending []string
+}
+
+func (t *timelineSink) SampleStride() int64 { return 1 }
+
+func (t *timelineSink) Event(e obs.Event) {
+	if !t.enabled {
+		return
+	}
+	t.pending = append(t.pending, e.Kind.String())
+}
+
+func (t *timelineSink) Sample(s obs.Sample) {
+	if !t.enabled {
+		return
+	}
+	var cells strings.Builder
+	for i := 0; i < t.cap; i++ {
+		switch {
+		case i >= s.FTQOcc:
+			cells.WriteByte('_')
+		case i < 64 && s.FTQReadyMask&(1<<uint(i)) != 0:
+			cells.WriteByte('R')
+		default:
+			cells.WriteByte('.')
+		}
+	}
+	ipc := 0.0
+	if s.Cycle > 0 {
+		ipc = float64(s.Retired) / float64(s.Cycle)
+	}
+	fmt.Fprintf(t.w, "cycle %8d  [%s]  %s  retired=%d ipc=%.3f",
+		s.Cycle, cells.String(), stateName(s.Scenario), s.Retired, ipc)
+	if len(t.pending) > 0 {
+		fmt.Fprintf(t.w, "  events=%s", strings.Join(t.pending, ","))
+		t.pending = t.pending[:0]
+	}
+	fmt.Fprintln(t.w)
+}
+
+// stateName keeps the command's historical vocabulary: the paper numbers
+// shoot-through as Scenario 1.
+func stateName(s obs.Scenario) string {
+	switch s {
+	case obs.ScenarioShootThrough:
+		return "scenario-1"
+	case obs.Scenario2:
+		return "scenario-2"
+	case obs.Scenario3:
+		return "scenario-3"
+	default:
+		return "empty     "
+	}
+}
+
 func run(w *os.File, name string, ftqN int, skip, cycles int64) error {
 	spec, ok := workload.Lookup(name)
 	if !ok {
@@ -55,98 +118,22 @@ func run(w *os.File, name string, ftqN int, skip, cycles int64) error {
 
 	cfg := core.DefaultConfig()
 	cfg.Frontend.FTQEntries = ftqN
+	sink := &timelineSink{w: w, cap: ftqN}
+	cfg.Obs = sink
 
-	mem, err := cache.NewHierarchy(cfg.Memory)
+	sim, err := core.New(cfg, src)
 	if err != nil {
 		return err
 	}
-	fe, err := frontend.New(cfg.Frontend, src, mem, nil)
-	if err != nil {
-		return err
-	}
-	be, err := backend.New(cfg.Backend, mem, fe)
-	if err != nil {
-		return err
-	}
-
-	// The same cycle loop core.Sim runs, with a tracing hook.
-	var (
-		now cache.Cycle
-		buf []isa.Instr
-	)
-	step := func(tracing bool) {
-		fe.Cycle(now)
-		budget := be.DispatchBudget()
-		if budget > cfg.DecodeWidth {
-			budget = cfg.DecodeWidth
-		}
-		if budget > 0 {
-			buf = fe.Dequeue(now, budget, buf[:0])
-			if len(buf) > 0 {
-				be.Dispatch(buf, now)
-			}
-		}
-		be.Retire(now)
-		if tracing {
-			fmt.Fprintln(w, render(fe, be, now))
-		}
-		now++
-	}
-
-	for be.Stats().RetiredProgram < skip && !(fe.Done() && be.Drained()) {
-		step(false)
+	for sim.Retired() < skip && !sim.Done() {
+		sim.Step()
 	}
 	fmt.Fprintf(w, "workload %s, FTQ=%d, tracing %d cycles from cycle %d (after %d retired instructions)\n",
-		spec.Name, ftqN, cycles, now, be.Stats().RetiredProgram)
+		spec.Name, ftqN, cycles, sim.Now(), sim.Retired())
 	fmt.Fprintf(w, "cells from head: R=ready .=fetching _=empty\n\n")
-	for i := int64(0); i < cycles && !(fe.Done() && be.Drained()); i++ {
-		step(true)
+	sink.enabled = true
+	for i := int64(0); i < cycles && !sim.Done(); i++ {
+		sim.Step()
 	}
 	return nil
-}
-
-// render draws one cycle's FTQ occupancy and scenario classification.
-func render(fe *frontend.Frontend, be *backend.Backend, now cache.Cycle) string {
-	q := fe.FTQ()
-	var cells strings.Builder
-	for i := 0; i < q.Cap(); i++ {
-		e := q.EntryAt(i)
-		switch {
-		case e == nil:
-			cells.WriteByte('_')
-		case e.Ready() <= now:
-			cells.WriteByte('R')
-		default:
-			cells.WriteByte('.')
-		}
-	}
-	state := "empty     "
-	if head := q.Head(); head != nil {
-		if head.Ready() <= now {
-			state = "scenario-1" // shoot-through
-		} else {
-			// Distinguish plain head stall from shadow stall: any ready
-			// follower behind an incomplete head is the classic Scenario
-			// 2; an incomplete follower queue is heading toward Scenario 3.
-			readyBehind := false
-			for i := 1; i < q.Len(); i++ {
-				if q.EntryAt(i).Ready() <= now {
-					readyBehind = true
-					break
-				}
-			}
-			if readyBehind {
-				state = "scenario-2"
-			} else {
-				state = "scenario-3"
-			}
-		}
-	}
-	st := be.Stats()
-	ipc := 0.0
-	if now > 0 {
-		ipc = float64(st.RetiredProgram) / float64(now)
-	}
-	return fmt.Sprintf("cycle %8d  [%s]  %s  retired=%d ipc=%.3f",
-		now, cells.String(), state, st.RetiredProgram, ipc)
 }

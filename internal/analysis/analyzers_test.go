@@ -22,6 +22,12 @@ func TestDetmapOnlyAppliesToDeterminismCriticalPackages(t *testing.T) {
 	atest.RunFiltered(t, fixture("detmap"), "frontsim/internal/stats", analysis.Detmap)
 }
 
+func TestDetmapCoversObs(t *testing.T) {
+	// The observability package emits artifacts that must diff cleanly
+	// across reruns, so it is in the determinism-critical set.
+	atest.Run(t, fixture("detmap"), "frontsim/internal/obs", analysis.Detmap)
+}
+
 func TestNowallclockFixture(t *testing.T) {
 	atest.Run(t, fixture("nowallclock"), "frontsim/internal/frontend", analysis.Nowallclock)
 }

@@ -17,6 +17,9 @@ var detmapPackages = []string{
 	"internal/frontend",
 	"internal/experiment",
 	"internal/asmdb",
+	// obs output (sample/event streams, metric exports) must be
+	// byte-identical across reruns so artifacts diff cleanly.
+	"internal/obs",
 }
 
 // Detmap flags every `range` over a map in the determinism-critical

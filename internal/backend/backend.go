@@ -115,6 +115,11 @@ func New(cfg Config, mem *cache.Hierarchy, resolver BranchResolver) (*Backend, e
 // Stats returns a snapshot of counters.
 func (b *Backend) Stats() Stats { return b.stats }
 
+// RetiredProgramCount returns the retired program-instruction counter
+// without copying the whole Stats snapshot; the run loop reads it every
+// cycle for the warmup and budget checks.
+func (b *Backend) RetiredProgramCount() int64 { return b.stats.RetiredProgram }
+
 // ResetStats clears counters (warmup boundary); in-flight state persists.
 func (b *Backend) ResetStats() { b.stats = Stats{} }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"frontsim/internal/isa"
+	"frontsim/internal/obs"
 	"frontsim/internal/xrand"
 )
 
@@ -144,6 +145,7 @@ type Level struct {
 	lruClk uint64
 	next   Backend
 	rng    *xrand.Rand
+	sink   obs.Sink // nil when observation is off
 	stats  Stats
 }
 
@@ -174,6 +176,10 @@ func NewLevel(cfg LevelConfig, next Backend) (*Level, error) {
 
 // Config returns the level's configuration.
 func (l *Level) Config() LevelConfig { return l.cfg }
+
+// SetObserver attaches an observability sink (nil detaches). Observation
+// is strictly read-only; access timing is identical with or without it.
+func (l *Level) SetObserver(s obs.Sink) { l.sink = s }
 
 // Stats returns a snapshot of the level's counters.
 func (l *Level) Stats() Stats { return l.stats }
@@ -245,6 +251,9 @@ func (l *Level) Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle {
 	*v = line{tag: tag, valid: true, ready: ready, prefetch: kind == Prefetch}
 	if kind == Prefetch {
 		l.stats.PrefetchFills++
+		if l.sink != nil {
+			l.sink.Event(obs.Event{Cycle: now, Kind: obs.EvPrefetchFill, Addr: uint64(lineAddr), Arg: ready - now})
+		}
 	}
 	l.fill(v)
 	return ready

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"frontsim/internal/isa"
+	"frontsim/internal/obs"
 )
 
 // HierarchyConfig sizes the whole memory system. Defaults mirror the
@@ -76,6 +77,10 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	}
 	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, LLC: llc, DRAM: dram}, nil
 }
+
+// SetObserver attaches an observability sink to the instruction side (the
+// L1-I, whose prefetch fills the front-end characterization cares about).
+func (h *Hierarchy) SetObserver(s obs.Sink) { h.L1I.SetObserver(s) }
 
 // FetchInstr requests the instruction cache line containing pc as a demand
 // fetch and returns its availability cycle.

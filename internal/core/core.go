@@ -14,6 +14,7 @@ import (
 	"frontsim/internal/frontend"
 	"frontsim/internal/ftq"
 	"frontsim/internal/isa"
+	"frontsim/internal/obs"
 	"frontsim/internal/trace"
 )
 
@@ -43,6 +44,13 @@ type Config struct {
 	// excluded from the fingerprint and audited and unaudited runs share
 	// cache entries. The `audit` build tag forces it on for every run.
 	Audit bool `json:"-"` //lint:allow auditing is observational only; identical results with it on or off is itself audited by TestAuditCleanRun
+	// Obs, when non-nil, attaches an observability sink: a per-cycle
+	// time-series sampler (at the sink's stride) plus structured front-end
+	// events, threaded through the FTQ, fill engine and L1-I. Observation
+	// is strictly read-only — simulated results are bit-identical with it
+	// on or off — so, like Audit, it is excluded from the fingerprint and
+	// observed and unobserved runs share cache entries.
+	Obs obs.Sink `json:"-"` //lint:allow observation is read-only; identical results with a sink attached or not is pinned by TestObsObservational
 }
 
 // DefaultConfig returns the Table I machine with the industry-standard
@@ -108,6 +116,14 @@ type Stats struct {
 
 	DRAMAccesses int64
 	DRAMQueueing int64
+
+	// WarmupOvershoot counts the program instructions that retired past
+	// WarmupInstrs before measurement began: the warmup flip is evaluated
+	// once per cycle, so up to RetireWidth-1 instructions can slip into
+	// warmup. They are excluded from the measured counters above; this
+	// records how many, so warmup-boundary sensitivity is visible instead
+	// of silent.
+	WarmupOvershoot int64
 }
 
 // IPC returns retired program instructions per cycle.
@@ -147,6 +163,13 @@ type Sim struct {
 	measured bool
 	startCyc cache.Cycle
 
+	// warmupOvershoot is the retired-instruction overshoot captured at the
+	// warmup flip (see Stats.WarmupOvershoot).
+	warmupOvershoot int64
+
+	// obsStride caches the sink's sampling period (0 when no sink).
+	obsStride cache.Cycle
+
 	// auditCheck, when non-nil, runs at the end of every cycle and its
 	// error panics the run with an AuditViolation repro dump. It defaults
 	// to the front-end's CheckInvariants; tests inject failures here.
@@ -176,49 +199,104 @@ func New(cfg Config, src trace.Source) (*Sim, error) {
 	if s.auditing() {
 		s.auditCheck = fe.CheckInvariants
 	}
+	if cfg.Obs != nil {
+		fe.SetObserver(cfg.Obs)
+		mem.SetObserver(cfg.Obs)
+		s.obsStride = cfg.Obs.SampleStride()
+		if s.obsStride <= 0 {
+			s.obsStride = 1
+		}
+	}
 	return s, nil
 }
 
 // Hierarchy exposes the memory system (examples and tests).
 func (s *Sim) Hierarchy() *cache.Hierarchy { return s.mem }
 
+// Now returns the current cycle (the next cycle Step will simulate).
+func (s *Sim) Now() cache.Cycle { return s.now }
+
+// Retired returns the program instructions retired so far in the current
+// phase (the counter resets at the warmup boundary).
+func (s *Sim) Retired() int64 { return s.be.RetiredProgramCount() }
+
 // Frontend exposes the front-end (examples and tests).
 func (s *Sim) Frontend() *frontend.Frontend { return s.fe }
+
+// Done reports that the run has reached its post-warmup instruction
+// budget, or that the source drained and the pipeline emptied. Like the
+// historical Run loop it performs the warmup flip before the termination
+// checks, so the flip-before-check ordering is preserved no matter how
+// Done and Step calls interleave.
+func (s *Sim) Done() bool {
+	rp := s.be.RetiredProgramCount()
+	if !s.measured && rp >= s.cfg.WarmupInstrs {
+		s.beginMeasurement()
+		rp = s.be.RetiredProgramCount() // counters reset at the flip
+	}
+	if s.measured && rp >= s.cfg.MaxInstrs {
+		return true
+	}
+	return s.fe.Done() && s.be.Drained()
+}
+
+// Step advances the machine by exactly one cycle — warmup flip, front-end
+// fill, dispatch, retire, audit, observation sample — and returns the
+// number of instructions retired that cycle. Run drives it internally;
+// external drivers (cmd/ftqtrace) use it for cycle-resolved control:
+//
+//	for !sim.Done() { sim.Step() }
+func (s *Sim) Step() int {
+	if !s.measured && s.be.RetiredProgramCount() >= s.cfg.WarmupInstrs {
+		s.beginMeasurement()
+	}
+	s.fe.Cycle(s.now)
+	budget := s.be.DispatchBudget()
+	if budget > s.cfg.DecodeWidth {
+		budget = s.cfg.DecodeWidth
+	}
+	if budget > 0 {
+		s.buf = s.fe.Dequeue(s.now, budget, s.buf[:0])
+		if len(s.buf) > 0 {
+			s.be.Dispatch(s.buf, s.now)
+		}
+	}
+	retired := s.be.Retire(s.now)
+	if s.auditCheck != nil {
+		s.audit(s.now)
+	}
+	if s.cfg.Obs != nil && s.now%s.obsStride == 0 {
+		s.sample()
+	}
+	s.now++
+	return retired
+}
+
+// sample emits one time-series point reflecting end-of-cycle state.
+func (s *Sim) sample() {
+	fes := s.fe.Stats()
+	q := s.fe.FTQ()
+	s.cfg.Obs.Sample(obs.Sample{
+		Cycle:        int64(s.now),
+		Retired:      s.be.Stats().RetiredProgram,
+		FTQOcc:       q.Len(),
+		FTQReadyMask: q.ReadyMask(s.now),
+		Scenario:     q.LastState(),
+		FillStall:    s.fe.FillStalled(),
+		L1IAccesses:  s.mem.L1I.Stats().Accesses,
+		L1IMisses:    s.mem.L1I.Stats().Misses,
+		L2Misses:     s.mem.L2.Stats().Misses,
+		SwPrefetches: fes.SwPrefetchesIssued + fes.TriggerPrefetchesIssued,
+	})
+}
 
 // Run simulates until MaxInstrs program instructions retire after warmup,
 // or the source drains. It returns the measured statistics.
 func (s *Sim) Run() (Stats, error) {
 	const idleLimit = 1_000_000 // cycles without retirement => wedged
 	idle := cache.Cycle(0)
-	for {
-		if !s.measured && s.be.Stats().RetiredProgram >= s.cfg.WarmupInstrs {
-			s.beginMeasurement()
-		}
-		if s.measured && s.be.Stats().RetiredProgram >= s.cfg.MaxInstrs {
-			break
-		}
-		if s.fe.Done() && s.be.Drained() {
-			break
-		}
-
-		s.fe.Cycle(s.now)
-		budget := s.be.DispatchBudget()
-		if budget > s.cfg.DecodeWidth {
-			budget = s.cfg.DecodeWidth
-		}
-		if budget > 0 {
-			s.buf = s.fe.Dequeue(s.now, budget, s.buf[:0])
-			if len(s.buf) > 0 {
-				s.be.Dispatch(s.buf, s.now)
-			}
-		}
-		retired := s.be.Retire(s.now)
-		if s.auditCheck != nil {
-			s.audit(s.now)
-		}
-		s.now++
-
-		if retired == 0 {
+	for !s.Done() {
+		if s.Step() == 0 {
 			idle++
 			if idle > idleLimit {
 				return Stats{}, fmt.Errorf("core: no retirement for %d cycles at cycle %d (wedged pipeline)", idleLimit, s.now)
@@ -242,6 +320,10 @@ func (s *Sim) Run() (Stats, error) {
 func (s *Sim) beginMeasurement() {
 	s.measured = true
 	s.startCyc = s.now
+	// The flip is evaluated once per cycle, so the boundary can land up to
+	// RetireWidth-1 instructions past WarmupInstrs; record the overshoot
+	// before the counters reset.
+	s.warmupOvershoot = s.be.RetiredProgramCount() - s.cfg.WarmupInstrs
 	s.fe.ResetStats()
 	s.be.ResetStats()
 	s.mem.ResetStats()
@@ -264,6 +346,7 @@ func (s *Sim) snapshot() Stats {
 		LLC:              s.mem.LLC.Stats(),
 		DRAMAccesses:     s.mem.DRAM.Accesses(),
 		DRAMQueueing:     s.mem.DRAM.QueueingCycles(),
+		WarmupOvershoot:  s.warmupOvershoot,
 	}
 }
 

@@ -23,7 +23,10 @@ import (
 //	2  ftq.Stats gained the per-cycle scenario partition (Cycles,
 //	   Scenario2Cycles, Scenario3Cycles); schema-1 snapshots would decode
 //	   with those counters silently zero
-const FingerprintSchema = 2
+//	3  Stats gained WarmupOvershoot (warmup-boundary accounting); schema-2
+//	   snapshots lack the field and StatsFromJSON's DisallowUnknownFields
+//	   would reject schema-3 snapshots under the old decoder
+const FingerprintSchema = 3
 
 // PrefetchFingerprinter lets an attached hardware prefetcher contribute a
 // stable identity to Config.Fingerprint. Prefetchers are constructed fresh

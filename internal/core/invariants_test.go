@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"frontsim/internal/trace"
+)
 
 // These tests check whole-machine invariants and the directional effects
 // the paper's characterization rests on, across several workloads. They
@@ -171,6 +175,32 @@ func TestTAGEConfigRunsWholeMachine(t *testing.T) {
 	}
 	if st.IPC() <= 0 || st.BPU.CondAccuracy() < 0.7 {
 		t.Fatalf("TAGE machine stats: ipc=%v acc=%v", st.IPC(), st.BPU.CondAccuracy())
+	}
+}
+
+func TestWarmupOvershootBoundedByRetireWidth(t *testing.T) {
+	// The warmup flip is evaluated once per cycle, before that cycle's
+	// retirement, so at the flip RetiredProgram can exceed WarmupInstrs by
+	// at most one cycle's retirement minus one: overshoot ∈ [0,
+	// RetireWidth).
+	width := int64(DefaultConfig().Backend.RetireWidth)
+	for _, name := range []string{"secret_crypto52", "secret_int_44", "secret_srv12"} {
+		st := runDepth(t, name, 24)
+		if st.WarmupOvershoot < 0 || st.WarmupOvershoot >= width {
+			t.Errorf("%s: WarmupOvershoot %d outside [0, %d)", name, st.WarmupOvershoot, width)
+		}
+	}
+	// A run whose source drains before the warmup boundary reports zero
+	// overshoot (measurement never began).
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 1 << 60
+	cfg.MaxInstrs = 1 << 60
+	st, err := RunSource(cfg, trace.NewLimit(source(t, "secret_int_44"), 30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WarmupOvershoot != 0 {
+		t.Fatalf("unmeasured run reports overshoot %d", st.WarmupOvershoot)
 	}
 }
 

@@ -1,0 +1,33 @@
+package core
+
+import "frontsim/internal/obs"
+
+// MetricSet renders the snapshot as exportable metrics (canonical JSON or
+// Prometheus text via obs.MetricSet), carrying the given labels on every
+// point. The selection follows the paper's headline measurements: IPC,
+// L1-I MPKI, the FTQ scenario partition, line merging, and software
+// prefetch accounting.
+func (s *Stats) MetricSet(labels ...obs.Label) obs.MetricSet {
+	var ms obs.MetricSet
+	add := func(name, help string, v float64) {
+		l := make([]obs.Label, len(labels))
+		copy(l, labels)
+		ms.Add(obs.Metric{Name: name, Help: help, Labels: l, Value: v})
+	}
+	add("frontsim_ipc", "Retired program instructions per cycle.", s.IPC())
+	add("frontsim_cycles", "Measured cycles.", float64(s.Cycles))
+	add("frontsim_instructions", "Retired program instructions.", float64(s.Instructions))
+	add("frontsim_sw_prefetch_instrs", "Retired software prefetch instructions.", float64(s.SwPrefetchInstrs))
+	add("frontsim_dynamic_bloat", "Fraction of extra fetched instructions due to software prefetches.", s.DynamicBloat())
+	add("frontsim_l1i_mpki", "L1-I demand misses per thousand program instructions.", s.L1IMPKI())
+	add("frontsim_l1i_accesses", "L1-I demand accesses.", float64(s.L1I.Accesses))
+	add("frontsim_l2_misses", "L2 demand misses.", float64(s.L2.Misses))
+	add("frontsim_ftq_shoot_through_cycles", "Cycles with a ready FTQ head (Scenario 1).", float64(s.FTQ.ShootThroughCycles))
+	add("frontsim_ftq_scenario2_cycles", "Head-stall cycles with completed followers (Scenario 2).", float64(s.FTQ.Scenario2Cycles))
+	add("frontsim_ftq_scenario3_cycles", "Head-stall cycles with no completed follower (Scenario 3).", float64(s.FTQ.Scenario3Cycles))
+	add("frontsim_ftq_empty_cycles", "Cycles with an empty FTQ.", float64(s.FTQ.EmptyCycles))
+	add("frontsim_ftq_lines_requested", "L1-I line fetches issued by the FTQ.", float64(s.FTQ.LinesRequested))
+	add("frontsim_ftq_lines_merged", "FTQ entry lines satisfied by a resident entry's request.", float64(s.FTQ.LinesMerged))
+	add("frontsim_warmup_overshoot", "Program instructions retired past WarmupInstrs before measurement began.", float64(s.WarmupOvershoot))
+	return ms
+}

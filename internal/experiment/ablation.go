@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 
 	"frontsim/internal/asmdb"
 	"frontsim/internal/cache"
@@ -29,12 +30,22 @@ func runCachedSim(p Params, key simKey, c core.Config, prog *program.Program) (c
 	if ok, err := p.Cache.Get(key, &st); err != nil {
 		return st, err
 	} else if ok {
+		p.obsRecord(&st, key.Workload.Name, c.Name)
 		return st, nil
 	}
+	if p.ObsRun != nil {
+		c.Obs = p.ObsRun(key.Workload.Name, c.Name)
+	}
 	st, err := core.RunSource(c, program.NewExecutor(prog, key.ExecSeed))
+	if cl, ok := c.Obs.(io.Closer); ok {
+		if cerr := cl.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing observer: %w", cerr)
+		}
+	}
 	if err != nil {
 		return st, err
 	}
+	p.obsRecord(&st, key.Workload.Name, c.Name)
 	return st, p.Cache.Put(key, st)
 }
 

@@ -17,11 +17,13 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 
 	"frontsim/internal/asmdb"
 	"frontsim/internal/cfg"
 	"frontsim/internal/core"
 	"frontsim/internal/hwpf"
+	"frontsim/internal/obs"
 	"frontsim/internal/program"
 	"frontsim/internal/runner"
 	"frontsim/internal/trace"
@@ -56,6 +58,27 @@ type Params struct {
 	// serialized keys. Cached cells are not re-simulated — run against a
 	// cold cache to audit the whole matrix.
 	Audit bool `json:"-"`
+	// Obs, when non-nil, collects one MetricSet per completed simulation
+	// cell — cached and live alike, so a warm suite reports the same
+	// metrics as a cold one. Observational only; never part of cache keys.
+	Obs *obs.SuiteCollector `json:"-"`
+	// ObsRun, when non-nil, supplies a per-run observability sink (cycle
+	// samples + event trace) for each *live* simulation, keyed by workload
+	// and series label. Sinks that implement io.Closer are closed when the
+	// run finishes. Cached cells never invoke it — there is no simulation
+	// to observe. Observational only; never part of cache keys.
+	ObsRun func(workload, series string) obs.Sink `json:"-"`
+}
+
+// obsRecord exports one cell's metrics to the suite collector.
+func (p Params) obsRecord(st *core.Stats, wl, series string) {
+	if p.Obs == nil {
+		return
+	}
+	p.Obs.Record(st.MetricSet(
+		obs.Label{Key: "workload", Value: wl},
+		obs.Label{Key: "series", Value: series},
+	))
 }
 
 // DefaultParams returns the scaled-down defaults.
@@ -148,8 +171,8 @@ func (m *Matrix) seriesPtr(id seriesID) *core.Stats {
 // cacheSchema versions the run-cache key layout. Bump together with
 // core.FingerprintSchema when key semantics change. Schema 2: ftq.Stats
 // gained the per-cycle scenario partition, changing the cached Stats value
-// shape.
-const cacheSchema = 2
+// shape. Schema 3: core.Stats gained WarmupOvershoot.
+const cacheSchema = 3
 
 // Program-variant tags in run-cache keys. The config fingerprint cannot
 // see which instruction stream it runs against, so the key must.
@@ -295,6 +318,7 @@ func runMatrixPooled(pool *runner.Pool, spec workload.Spec, index int, p Params,
 		}
 		have[id] = ok
 		if ok {
+			p.obsRecord(m.seriesPtr(id), spec.Name, seriesLabels[id])
 			pr.JobDone(spec.Name+"/"+seriesLabels[id], true)
 		} else {
 			missing++
@@ -327,7 +351,15 @@ func runMatrixPooled(pool *runner.Pool, spec workload.Spec, index int, p Params,
 			if err != nil {
 				return err
 			}
+			if p.ObsRun != nil {
+				c.Obs = p.ObsRun(spec.Name, seriesLabels[id])
+			}
 			st, err := core.RunSource(c, program.NewExecutor(target, execSeed))
+			if cl, ok := c.Obs.(io.Closer); ok {
+				if cerr := cl.Close(); cerr != nil && err == nil {
+					err = fmt.Errorf("closing observer: %w", cerr)
+				}
+			}
 			if err != nil {
 				return fmt.Errorf("%s %s: %w", spec.Name, seriesLabels[id], err)
 			}
@@ -335,6 +367,7 @@ func runMatrixPooled(pool *runner.Pool, spec workload.Spec, index int, p Params,
 			if err := p.Cache.Put(keys.series[id], st); err != nil {
 				return err
 			}
+			p.obsRecord(&st, spec.Name, seriesLabels[id])
 			pr.JobDone(spec.Name+"/"+seriesLabels[id], false)
 			return nil
 		})

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"frontsim/internal/obs"
+	"frontsim/internal/runner"
+	"frontsim/internal/workload"
+)
+
+// TestObsUniformAcrossCacheStates pins the exporter's uniformity contract:
+// a fully-cached suite pass reports exactly the same metric points as the
+// cold pass that populated the cache — cache hits replay their decoded
+// snapshots through the same MetricSet path — while per-run observer
+// construction (ObsRun) is only ever invoked for live simulations.
+func TestObsUniformAcrossCacheStates(t *testing.T) {
+	dir := t.TempDir()
+	spec, ok := workload.Lookup("public_srv_60")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+
+	var liveSinks, warmSinks atomic.Int64
+	runPass := func(c *runner.Cache, counter *atomic.Int64) *obs.SuiteCollector {
+		p := tinyParams()
+		p.Cache = c
+		col := &obs.SuiteCollector{}
+		p.Obs = col
+		p.ObsRun = func(workload, series string) obs.Sink {
+			counter.Add(1)
+			return nil
+		}
+		if _, err := RunMatrix(spec, 1, p); err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+
+	cold, err := runner.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colA := runPass(cold, &liveSinks)
+	if liveSinks.Load() == 0 {
+		t.Fatal("cold pass built no per-run observers")
+	}
+	// One MetricSet of points per series cell.
+	if colA.Len() == 0 || colA.Len()%int(numSeries) != 0 {
+		t.Fatalf("cold pass recorded %d metric points, want a multiple of %d", colA.Len(), numSeries)
+	}
+
+	warm, err := runner.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colB := runPass(warm, &warmSinks)
+	if m := warm.Metrics(); m.Misses != 0 {
+		t.Fatalf("warm pass was not pure cache hits: %+v", m)
+	}
+	if n := warmSinks.Load(); n != 0 {
+		t.Fatalf("cached cells invoked ObsRun %d times", n)
+	}
+	if colB.Len() != colA.Len() {
+		t.Fatalf("warm pass recorded %d runs, cold %d", colB.Len(), colA.Len())
+	}
+
+	var a, b bytes.Buffer
+	if err := colA.Export().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := colB.Export().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("suite metrics differ cached vs live:\n cold %s\n warm %s", a.Bytes(), b.Bytes())
+	}
+}

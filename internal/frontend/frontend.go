@@ -21,6 +21,7 @@ import (
 	"frontsim/internal/cache"
 	"frontsim/internal/ftq"
 	"frontsim/internal/isa"
+	"frontsim/internal/obs"
 	"frontsim/internal/trace"
 )
 
@@ -175,6 +176,8 @@ type Frontend struct {
 	stallUntil cache.Cycle
 	stallSeq   int64
 
+	sink obs.Sink // nil when observation is off
+
 	stats Stats
 }
 
@@ -205,6 +208,17 @@ func (f *Frontend) FTQ() *ftq.FTQ { return f.q }
 
 // BPU exposes the branch predictors.
 func (f *Frontend) BPU() *bpu.BPU { return f.bp }
+
+// SetObserver attaches an observability sink to the front-end and its FTQ
+// (nil detaches). Observation is strictly read-only.
+func (f *Frontend) SetObserver(s obs.Sink) {
+	f.sink = s
+	f.q.SetObserver(s)
+}
+
+// FillStalled reports whether the fill engine is currently blocked on a
+// wrong-path condition (for time-series sampling).
+func (f *Frontend) FillStalled() bool { return f.stalled }
 
 // Stats returns a snapshot of fill counters.
 func (f *Frontend) Stats() Stats { return f.stats }
@@ -277,10 +291,15 @@ func (f *Frontend) Cycle(now cache.Cycle) {
 	for f.pending.Len() > 0 && f.pending.Min().at <= now {
 		p := f.pending.Pop()
 		f.mem.PrefetchInstr(p.target, now)
+		trig := int64(0)
 		if p.trigger {
 			f.stats.TriggerPrefetchesIssued++
+			trig = 1
 		} else {
 			f.stats.SwPrefetchesIssued++
+		}
+		if f.sink != nil {
+			f.sink.Event(obs.Event{Cycle: int64(now), Kind: obs.EvPrefetchIssue, Addr: uint64(p.target), Arg: trig})
 		}
 	}
 	if f.srcDone && f.peeked == nil {
@@ -320,7 +339,7 @@ func (f *Frontend) Cycle(now cache.Cycle) {
 		if last.Class.IsBranch() {
 			res := f.bp.PredictAndTrain(last)
 			if !res.CorrectPath {
-				f.stallFill(res, ready, blockSeq+int64(len(blk))-1)
+				f.stallFill(res, ready, blockSeq+int64(len(blk))-1, last.PC, now)
 				f.fetchWrongPath(last, now)
 				return
 			}
@@ -368,7 +387,7 @@ func (f *Frontend) firePrefetches(blk []isa.Instr, ready cache.Cycle) {
 }
 
 // stallFill suspends run-ahead after a wrong-path divergence.
-func (f *Frontend) stallFill(res bpu.Result, blockReady cache.Cycle, branchSeq int64) {
+func (f *Frontend) stallFill(res bpu.Result, blockReady cache.Cycle, branchSeq int64, branchPC isa.Addr, now cache.Cycle) {
 	f.stalled = true
 	if res.Recovery == bpu.RecoverPreDecode && f.cfg.EnablePFC {
 		// Pre-decode of the fetched line exposes the direct branch; fill
@@ -376,6 +395,9 @@ func (f *Frontend) stallFill(res bpu.Result, blockReady cache.Cycle, branchSeq i
 		f.stallUntil = blockReady + f.cfg.PFCDelay
 		f.stallSeq = -1
 		f.stats.PFCRecoveries++
+		if f.sink != nil {
+			f.sink.Event(obs.Event{Cycle: int64(now), Kind: obs.EvPFC, Addr: uint64(branchPC), Arg: int64(f.stallUntil)})
+		}
 		return
 	}
 	// Wait for the branch to resolve in the back-end.
@@ -407,6 +429,9 @@ func (f *Frontend) OnBranchResolved(seq int64, done cache.Cycle) {
 	if f.stalled && f.stallSeq == seq {
 		f.stallSeq = -1
 		f.stallUntil = done + f.cfg.RedirectPenalty
+		if f.sink != nil {
+			f.sink.Event(obs.Event{Cycle: int64(done), Kind: obs.EvRedirect, Arg: int64(f.stallUntil)})
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ package ftq
 import (
 	"frontsim/internal/cache"
 	"frontsim/internal/isa"
+	"frontsim/internal/obs"
 )
 
 // MaxBlockInstrs is the per-entry basic block capacity (8 instructions, as
@@ -170,6 +171,10 @@ type FTQ struct {
 	prefixMax cache.Cycle // max ready over all entries ever pushed
 
 	stats Stats
+
+	sink      obs.Sink     // nil when observation is off
+	lastState obs.Scenario // classification of the last ticked cycle
+	lastNow   cache.Cycle  // most recent cycle seen by Tick/Push (sink != nil)
 }
 
 // New creates an FTQ with the given entry capacity.
@@ -194,6 +199,32 @@ func (q *FTQ) Empty() bool { return q.size == 0 }
 
 // Full reports a full queue.
 func (q *FTQ) Full() bool { return q.size == len(q.entries) }
+
+// SetObserver attaches an observability sink (nil detaches). Observation
+// is strictly read-only; queue behaviour is identical with or without it.
+func (q *FTQ) SetObserver(s obs.Sink) { q.sink = s }
+
+// LastState returns the scenario classification of the most recently
+// ticked cycle (obs.ScenarioEmpty before the first Tick). It is only
+// maintained while an observer is attached.
+func (q *FTQ) LastState() obs.Scenario { return q.lastState }
+
+// ReadyMask reports, for the low min(Len, 64) resident entries, which have
+// completed their fetch as of now: bit i covers the i-th entry from the
+// head.
+func (q *FTQ) ReadyMask(now cache.Cycle) uint64 {
+	n := q.size
+	if n > 64 {
+		n = 64
+	}
+	var mask uint64
+	for i := 0; i < n; i++ {
+		if q.at(i).ready <= now {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
 
 // Stats returns a snapshot of the counters.
 func (q *FTQ) Stats() Stats { return q.stats }
@@ -256,6 +287,9 @@ func (q *FTQ) Push(instrs []isa.Instr, now cache.Cycle, fetch FetchFunc) (cache.
 			ref.count++
 			q.lineRefs[line] = ref
 			q.stats.LinesMerged++
+			if q.sink != nil {
+				q.sink.Event(obs.Event{Cycle: int64(now), Kind: obs.EvMergeHit, Addr: uint64(line)})
+			}
 			if ref.ready > ready {
 				ready = ref.ready
 			}
@@ -285,6 +319,9 @@ func (q *FTQ) Push(instrs []isa.Instr, now cache.Cycle, fetch FetchFunc) (cache.
 	wasEmpty := q.size == 0
 	q.size++
 	q.stats.Pushed++
+	if q.sink != nil && now > q.lastNow {
+		q.lastNow = now
+	}
 	if wasEmpty {
 		q.promote(now)
 	}
@@ -306,14 +343,15 @@ func (q *FTQ) promote(now cache.Cycle) {
 }
 
 // Tick accounts one cycle of FTQ state; the front-end calls it exactly once
-// per cycle.
+// per cycle. Observation bookkeeping (lastState/lastNow) is skipped entirely
+// when no sink is attached so the obs-disabled hot path performs exactly the
+// seed's stores.
 func (q *FTQ) Tick(now cache.Cycle) {
 	q.stats.Cycles++
+	state := obs.ScenarioEmpty
 	if q.size == 0 {
 		q.stats.EmptyCycles++
-		return
-	}
-	if q.at(0).ready > now {
+	} else if q.at(0).ready > now {
 		q.stats.HeadStallCycles++
 		waiting := 0
 		for i := 1; i < q.size; i++ {
@@ -324,11 +362,20 @@ func (q *FTQ) Tick(now cache.Cycle) {
 		q.stats.WaitingEntryCycles += int64(waiting)
 		if waiting > 0 {
 			q.stats.Scenario2Cycles++
+			state = obs.Scenario2
 		} else {
 			q.stats.Scenario3Cycles++
+			state = obs.Scenario3
 		}
 	} else {
 		q.stats.ShootThroughCycles++
+		state = obs.ScenarioShootThrough
+	}
+	if q.sink != nil {
+		q.lastState = state
+		if now > q.lastNow {
+			q.lastNow = now
+		}
 	}
 }
 
@@ -395,6 +442,9 @@ func (q *FTQ) retire(e *Entry) {
 // phases; the trace-driven front-end never fills wrong-path blocks, so
 // mispredict recovery does not flush).
 func (q *FTQ) Flush() {
+	if q.sink != nil && q.size > 0 {
+		q.sink.Event(obs.Event{Cycle: int64(q.lastNow), Kind: obs.EvFlush, Arg: int64(q.size)})
+	}
 	q.head = 0
 	q.size = 0
 	clear(q.lineRefs)

@@ -1,11 +1,13 @@
 package ftq
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 
 	"frontsim/internal/cache"
 	"frontsim/internal/isa"
+	"frontsim/internal/obs"
 	"frontsim/internal/xrand"
 )
 
@@ -392,5 +394,133 @@ func TestHistBucketBoundaries(t *testing.T) {
 		if got := histBucket(d); got != want {
 			t.Errorf("histBucket(%d) = %d, want %d", d, got, want)
 		}
+	}
+}
+
+// TestFlushMidHeadStallScenarioPartition injects a mispredict-style flush
+// in the middle of a head stall — with the event trace enabled — and
+// asserts, cycle by cycle, that the scenario partition identity
+// (shoot-through + Scenario 2 + Scenario 3 + empty == cycles) survives the
+// discontinuity, that each cycle's classification matches LastState, and
+// that the flush shows up in the event stream with the discarded entry
+// count.
+func TestFlushMidHeadStallScenarioPartition(t *testing.T) {
+	cases := []struct {
+		name       string
+		capacity   int
+		headLat    cache.Cycle // head block fetch latency
+		followLat  cache.Cycle // follower block fetch latency
+		followers  int
+		flushAt    cache.Cycle
+		wantDuring obs.Scenario // classification expected just before the flush
+	}{
+		{"scenario2-stall", 8, 40, 2, 3, 20, obs.Scenario2},
+		{"scenario3-stall", 8, 40, 40, 3, 20, obs.Scenario3},
+		{"flush-at-stall-onset", 4, 40, 2, 2, 2, obs.Scenario2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var events bytes.Buffer
+			o := obs.NewObserver(obs.Options{Stride: 1, Events: &events})
+			q := New(tc.capacity)
+			q.SetObserver(o)
+
+			// One slow head, then followers whose latency the case picks.
+			q.Push(block(0x1000, 4), 1, fetchAt(tc.headLat, nil))
+			pc := isa.Addr(0x2000)
+			for i := 0; i < tc.followers; i++ {
+				q.Push(block(pc, 4), 1, fetchAt(tc.followLat, nil))
+				pc += 0x1000
+			}
+			sizeAtFlush := q.Len()
+
+			checkCycle := func(now cache.Cycle) {
+				before := q.Stats()
+				last := q.LastState()
+				q.Tick(now)
+				st := q.Stats()
+				if sum := st.ShootThroughCycles + st.Scenario2Cycles + st.Scenario3Cycles + st.EmptyCycles; sum != st.Cycles {
+					t.Fatalf("cycle %d: partition %d != cycles %d", now, sum, st.Cycles)
+				}
+				if err := q.CheckInvariants(now); err != nil {
+					t.Fatalf("cycle %d: %v", now, err)
+				}
+				// Exactly one bucket advanced, and it agrees with LastState.
+				var want obs.Scenario
+				switch {
+				case st.ShootThroughCycles == before.ShootThroughCycles+1:
+					want = obs.ScenarioShootThrough
+				case st.Scenario2Cycles == before.Scenario2Cycles+1:
+					want = obs.Scenario2
+				case st.Scenario3Cycles == before.Scenario3Cycles+1:
+					want = obs.Scenario3
+				case st.EmptyCycles == before.EmptyCycles+1:
+					want = obs.ScenarioEmpty
+				default:
+					t.Fatalf("cycle %d: no scenario bucket advanced", now)
+				}
+				if got := q.LastState(); got != want {
+					t.Fatalf("cycle %d: LastState %v, counters say %v (was %v)", now, got, want, last)
+				}
+			}
+
+			for now := cache.Cycle(2); now < tc.flushAt; now++ {
+				checkCycle(now)
+			}
+			// The head must still be stalling when the mispredict hits.
+			if h := q.Head(); h == nil || h.Ready() <= tc.flushAt {
+				t.Fatalf("head not stalling at flush cycle %d", tc.flushAt)
+			}
+			if tc.flushAt > 2 {
+				if got := q.LastState(); got != tc.wantDuring {
+					t.Fatalf("pre-flush state %v, want %v", got, tc.wantDuring)
+				}
+			}
+			q.Flush()
+			if !q.Empty() {
+				t.Fatal("queue not empty after flush")
+			}
+
+			// Post-flush: an empty cycle, then redirected-path refill runs
+			// to completion with the identity still holding every cycle.
+			checkCycle(tc.flushAt)
+			if got := q.LastState(); got != obs.ScenarioEmpty {
+				t.Fatalf("post-flush state %v, want empty", got)
+			}
+			q.Push(block(0xF000, 4), tc.flushAt+1, fetchAt(2, nil))
+			for now := tc.flushAt + 1; now < tc.flushAt+10; now++ {
+				checkCycle(now)
+				q.PopReady(now, 8, nil)
+			}
+
+			// The flush is visible in the event stream with the discarded
+			// entry count; the merge hits from the contiguous follower
+			// blocks are there too.
+			if err := o.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			evs, err := obs.ReadEvents(&events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var flushEv *obs.Event
+			for i := range evs {
+				if evs[i].Kind == obs.EvFlush {
+					if flushEv != nil {
+						t.Fatal("multiple flush events")
+					}
+					flushEv = &evs[i]
+				}
+			}
+			if flushEv == nil {
+				t.Fatal("flush missing from event stream")
+			}
+			if flushEv.Arg != int64(sizeAtFlush) {
+				t.Fatalf("flush event discarded %d entries, want %d", flushEv.Arg, sizeAtFlush)
+			}
+			if o.EventCount(obs.EvFlush) != 1 {
+				t.Fatalf("flush event count %d", o.EventCount(obs.EvFlush))
+			}
+		})
 	}
 }

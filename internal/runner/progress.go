@@ -41,7 +41,8 @@ func (p *Progress) AddTotal(n int) {
 
 // JobDone records one finished job and emits its progress line. Cached
 // jobs count toward completion but are flagged, and the ETA is projected
-// from the average pace of everything finished so far.
+// from the pace of live (actually simulated) jobs — cache hits are nearly
+// free, so averaging them in would wildly understate the remaining work.
 func (p *Progress) JobDone(label string, fromCache bool) {
 	if p == nil {
 		return
@@ -61,7 +62,17 @@ func (p *Progress) JobDone(label string, fromCache bool) {
 	}
 	eta := "done"
 	if done < total {
-		remaining := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		// An all-cache-hits prefix has no live pace to project from
+		// (live == 0 would divide to +Inf); fall back to the overall
+		// pace, which is finite because done >= 1 here.
+		pace := float64(elapsed) / float64(done)
+		if live := done - cached; live > 0 {
+			pace = float64(elapsed) / float64(live)
+		}
+		remaining := time.Duration(pace * float64(total-done))
+		if remaining < 0 {
+			remaining = 0
+		}
 		eta = "eta " + remaining.Round(time.Second).String()
 	}
 	p.emit(fmt.Sprintf("[%3d/%d] %-28s %s, %s, %d cached%s",

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPoolRunsEverything(t *testing.T) {
@@ -286,4 +288,88 @@ func TestProgressLines(t *testing.T) {
 	var nilPr *Progress
 	nilPr.AddTotal(1)
 	nilPr.JobDone("x", false) // must not panic
+}
+
+// fakeClockProgress returns a tracker whose clock the test controls.
+func fakeClockProgress(emit func(string)) (*Progress, *time.Time) {
+	pr := NewProgress(emit)
+	base := time.Unix(1_700_000_000, 0)
+	cur := new(time.Time)
+	*cur = base
+	pr.now = func() time.Time { return *cur }
+	pr.start = base
+	return pr, cur
+}
+
+// TestProgressETALivePace pins the live-pace projection: cache hits are
+// nearly free, so the ETA must extrapolate from live jobs only. Fails on
+// the pre-fix code, which averaged cache hits into the pace and halved
+// the projection here.
+func TestProgressETALivePace(t *testing.T) {
+	var lines []string
+	pr, cur := fakeClockProgress(func(s string) { lines = append(lines, s) })
+	pr.AddTotal(4)
+
+	// One live job takes 10s, then a cache hit lands instantly. Two jobs
+	// remain; at the live pace of 10s/job the honest ETA is 20s.
+	*cur = cur.Add(10 * time.Second)
+	pr.JobDone("live", false)
+	pr.JobDone("hit", true)
+	if !strings.Contains(lines[1], "eta 20s") {
+		t.Fatalf("mixed-pace line %q, want live-pace projection of 20s", lines[1])
+	}
+}
+
+// TestProgressFullyCachedSuite drives an all-cache-hits suite through the
+// tracker: every emitted ETA must be finite (no +Inf from a zero live-job
+// divisor), non-negative, and non-increasing.
+func TestProgressFullyCachedSuite(t *testing.T) {
+	var lines []string
+	pr, cur := fakeClockProgress(func(s string) { lines = append(lines, s) })
+	const total = 6
+	pr.AddTotal(total)
+	for i := 0; i < total; i++ {
+		*cur = cur.Add(2 * time.Second)
+		pr.JobDone(fmt.Sprintf("job%d", i), true)
+	}
+	if len(lines) != total {
+		t.Fatalf("emitted %d lines, want %d", len(lines), total)
+	}
+	re := regexp.MustCompile(`eta (\S+),`)
+	prev := time.Duration(1<<63 - 1)
+	for i, ln := range lines[:total-1] {
+		if strings.Contains(ln, "Inf") || strings.Contains(ln, "NaN") || strings.Contains(ln, "eta -") {
+			t.Fatalf("line %d not finite/non-negative: %q", i, ln)
+		}
+		m := re.FindStringSubmatch(ln)
+		if m == nil {
+			t.Fatalf("line %d has no eta: %q", i, ln)
+		}
+		d, err := time.ParseDuration(m[1])
+		if err != nil {
+			t.Fatalf("line %d eta %q: %v", i, m[1], err)
+		}
+		if d < 0 || d > prev {
+			t.Fatalf("line %d eta %v not monotone non-increasing (prev %v)", i, d, prev)
+		}
+		prev = d
+	}
+	if !strings.Contains(lines[total-1], "done") {
+		t.Fatalf("final line %q", lines[total-1])
+	}
+}
+
+// TestProgressClampsNegativeRemaining feeds a clock that runs backwards
+// (elapsed < 0, as a stepping fake or a suspended host can produce) and
+// asserts the ETA clamps to zero instead of emitting a negative duration.
+// Fails on the pre-fix code ("eta -2s").
+func TestProgressClampsNegativeRemaining(t *testing.T) {
+	var lines []string
+	pr, cur := fakeClockProgress(func(s string) { lines = append(lines, s) })
+	pr.AddTotal(3)
+	*cur = cur.Add(-2 * time.Second)
+	pr.JobDone("w", false)
+	if !strings.Contains(lines[0], "eta 0s") {
+		t.Fatalf("negative-elapsed line %q, want clamped eta 0s", lines[0])
+	}
 }

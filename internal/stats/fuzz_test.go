@@ -47,9 +47,10 @@ func FuzzGeomean(f *testing.F) {
 	})
 }
 
-// FuzzPercentile checks that Percentile never panics and, for finite
-// non-NaN inputs, always returns an element of the input (nearest-rank
-// percentiles are order statistics, not interpolations).
+// FuzzPercentile checks that Percentile never panics and never returns
+// NaN: NaN elements are dropped before ranking, so the result is always a
+// non-NaN element of the input (nearest-rank percentiles are order
+// statistics, not interpolations), or 0 when no usable element remains.
 func FuzzPercentile(f *testing.F) {
 	f.Add([]byte{}, 50.0)
 	f.Add(mustBytes(3, 1, 2), 0.0)
@@ -57,17 +58,30 @@ func FuzzPercentile(f *testing.F) {
 	f.Add(mustBytes(1), math.NaN())
 	f.Add(mustBytes(5, 9), 1e308)
 	f.Add(mustBytes(5, 9), -1e308)
+	f.Add(mustBytes(math.NaN(), 1, 2, 3), 50.0)
+	f.Add(mustBytes(math.NaN(), math.NaN()), 50.0)
+	f.Add(mustBytes(math.Inf(1), math.NaN(), math.Inf(-1), 0), 75.0)
+	f.Add(mustBytes(math.NaN(), math.Inf(1)), 100.0)
 	f.Fuzz(func(t *testing.T, data []byte, p float64) {
 		xs := floatsFromBytes(data)
 		v := Percentile(xs, p)
-		if len(xs) == 0 || math.IsNaN(p) {
+		if math.IsNaN(v) {
+			t.Fatalf("Percentile(%v, %v) = NaN", xs, p)
+		}
+		usable := 0
+		for _, x := range xs {
+			if !math.IsNaN(x) {
+				usable++
+			}
+		}
+		if usable == 0 || math.IsNaN(p) {
 			if v != 0 {
 				t.Fatalf("Percentile(%v, %v) = %v, want 0", xs, p, v)
 			}
 			return
 		}
 		for _, x := range xs {
-			if x == v || (math.IsNaN(x) && math.IsNaN(v)) {
+			if x == v {
 				return
 			}
 		}

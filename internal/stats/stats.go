@@ -72,15 +72,26 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0<=p<=100) by nearest-rank on a
-// sorted copy; 0 for empty input or NaN p. Out-of-range p clamps to the
-// extrema, and the computed rank is clamped to the slice bounds so no
-// float-rounding edge (e.g. huge inputs where int(Ceil(...)) overflows)
+// sorted copy; 0 for empty input or NaN p. NaN elements are dropped before
+// ranking (sort.Float64s leaves NaNs at unspecified positions, so a single
+// NaN would otherwise corrupt the rank lookup); all-NaN input returns 0,
+// matching Geomean's treatment of degenerate samples. Out-of-range p clamps
+// to the extrema, and the computed rank is clamped to the slice bounds so
+// no float-rounding edge (e.g. huge inputs where int(Ceil(...)) overflows)
 // can index out of range.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 || math.IsNaN(p) {
+	if math.IsNaN(p) {
 		return 0
 	}
-	sorted := append([]float64(nil), xs...)
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
+		return 0
+	}
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]

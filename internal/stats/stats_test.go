@@ -79,6 +79,26 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileNaNElements pins the fix for NaN samples in xs: a NaN is
+// dropped before ranking instead of landing at an unspecified position in
+// the sorted order and shifting the rank lookup. Fails on the pre-fix
+// code (which returned NaN or the wrong order statistic).
+func TestPercentileNaNElements(t *testing.T) {
+	if got := Percentile([]float64{math.NaN(), 1, 2, 3}, 50); got != 2 {
+		t.Fatalf("p50 of {NaN,1,2,3} = %v, want 2 (NaN dropped)", got)
+	}
+	if got := Percentile([]float64{3, math.NaN(), 1, math.NaN(), 2}, 100); got != 3 {
+		t.Fatalf("p100 with interleaved NaNs = %v, want 3", got)
+	}
+	if got := Percentile([]float64{math.NaN(), math.NaN()}, 50); got != 0 {
+		t.Fatalf("all-NaN input = %v, want 0", got)
+	}
+	// Infinities are legitimate order statistics and must survive.
+	if got := Percentile([]float64{math.Inf(1), math.NaN(), 1}, 100); !math.IsInf(got, 1) {
+		t.Fatalf("p100 with +Inf element = %v, want +Inf", got)
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tab := NewTable("Title", "name", "value")
 	tab.AddRow("alpha", "1")
