@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race audit vet check obs-smoke
+.PHONY: all build lint test race audit vet check obs-smoke ff-smoke
 
 all: check
 
@@ -43,4 +43,27 @@ obs-smoke:
 	test -s /tmp/frontsim-obs-smoke/bundle/secret_srv12.metrics.prom
 	@echo "obs-smoke: stats byte-identical with observation on/off"
 
-check: vet build lint race audit obs-smoke
+# ff-smoke proves the event-driven fast path is invisible end to end:
+# the same runs with -fast-forward on and off must print byte-identical
+# JSON statistics, both for a single cell (conservative and FDP
+# front-ends) and for a scaled-down experiment suite.
+ff-smoke:
+	rm -rf /tmp/frontsim-ff-smoke && mkdir -p /tmp/frontsim-ff-smoke
+	$(GO) run ./cmd/fesim -workload secret_srv12 -instrs 120000 -warmup 30000 -json \
+		-fast-forward=false > /tmp/frontsim-ff-smoke/fdp-off.json
+	$(GO) run ./cmd/fesim -workload secret_srv12 -instrs 120000 -warmup 30000 -json \
+		-fast-forward=true > /tmp/frontsim-ff-smoke/fdp-on.json
+	cmp /tmp/frontsim-ff-smoke/fdp-off.json /tmp/frontsim-ff-smoke/fdp-on.json
+	$(GO) run ./cmd/fesim -workload secret_srv12 -instrs 120000 -warmup 30000 -json \
+		-ftq 2 -fast-forward=false > /tmp/frontsim-ff-smoke/cons-off.json
+	$(GO) run ./cmd/fesim -workload secret_srv12 -instrs 120000 -warmup 30000 -json \
+		-ftq 2 -fast-forward=true > /tmp/frontsim-ff-smoke/cons-on.json
+	cmp /tmp/frontsim-ff-smoke/cons-off.json /tmp/frontsim-ff-smoke/cons-on.json
+	$(GO) run ./cmd/experiments -n 2 -warmup 50000 -instrs 150000 -profile 200000 \
+		-no-cache -fast-forward=false -quiet > /tmp/frontsim-ff-smoke/suite-off.txt
+	$(GO) run ./cmd/experiments -n 2 -warmup 50000 -instrs 150000 -profile 200000 \
+		-no-cache -fast-forward=true -quiet > /tmp/frontsim-ff-smoke/suite-on.txt
+	diff /tmp/frontsim-ff-smoke/suite-off.txt /tmp/frontsim-ff-smoke/suite-on.txt
+	@echo "ff-smoke: stats byte-identical with fast-forward on/off"
+
+check: vet build lint race audit obs-smoke ff-smoke

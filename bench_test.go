@@ -436,6 +436,47 @@ func BenchmarkHWPrefetchers(b *testing.B) {
 	b.ReportMetric(eipIPC, "eip-ipc")
 }
 
+// BenchmarkSuiteFastForward measures the event-driven cycle-skipping fast
+// path on the cold suite restricted to the 24-entry-FTQ FDP configuration
+// (the paper's industry-standard machine, and the acceptance target for
+// the ≥2× speedup): every benchmark workload simulated cycle-by-cycle
+// (off) versus fast-forwarded (on), no cache. Results are byte-identical
+// in both modes (TestFastForwardEquivalence); only wall-clock differs.
+func BenchmarkSuiteFastForward(b *testing.B) {
+	type built struct {
+		prog *program.Program
+		seed uint64
+	}
+	var progs []built
+	for _, spec := range benchSpecs() {
+		prog, err := spec.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs = append(progs, built{prog, spec.Seed ^ 0x5eed5eed5eed5eed})
+	}
+	run := func(b *testing.B, ff bool) {
+		var instrs, cycles int64
+		for i := 0; i < b.N; i++ {
+			for _, pr := range progs {
+				c := core.DefaultConfig()
+				c.WarmupInstrs, c.MaxInstrs = 150_000, 400_000
+				c.FastForward = ff
+				st, err := core.RunSource(c, program.NewExecutor(pr.prog, pr.seed))
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs += st.Instructions
+				cycles += st.Cycles
+			}
+		}
+		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	}
+	b.Run("fdp24-off", func(b *testing.B) { run(b, false) })
+	b.Run("fdp24-on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkSimObsOverhead measures the cost of the observability layer in
 // its three regimes: sink absent (every hook is one nil compare — the
 // regime all normal runs pay), a realistic stride-64 sampler, and the

@@ -35,6 +35,7 @@ type options struct {
 	noGHR     bool
 	hwpf      string
 	json      bool
+	fastFwd   bool
 
 	obs       bool
 	obsDir    string
@@ -53,6 +54,7 @@ func main() {
 	flag.BoolVar(&o.noGHR, "no-ghr-filter", false, "disable GHR not-taken/BTB-miss filtering")
 	flag.StringVar(&o.hwpf, "hwpf", "none", "hardware L1-I prefetcher: none, nextline, eip")
 	flag.BoolVar(&o.json, "json", false, "emit the statistics snapshot as JSON")
+	flag.BoolVar(&o.fastFwd, "fast-forward", true, "event-driven cycle skipping (byte-identical results; =false forces cycle-by-cycle)")
 	flag.BoolVar(&o.obs, "obs", false, "record an observability bundle: per-cycle samples, front-end events, metrics")
 	flag.StringVar(&o.obsDir, "obs-dir", "obs", "directory for -obs output files")
 	flag.Int64Var(&o.obsStride, "obs-stride", 64, "cycles between time-series samples under -obs")
@@ -79,6 +81,7 @@ func run(o options) error {
 	cfg.Frontend.BPU.FilterGHR = !o.noGHR
 	cfg.WarmupInstrs = o.warmup
 	cfg.MaxInstrs = o.instrs
+	cfg.FastForward = o.fastFwd
 
 	switch o.hwpf {
 	case "none":

@@ -171,11 +171,44 @@ func (b *Backend) Dispatch(instrs []isa.Instr, now cache.Cycle) {
 		default:
 			done = execAt + b.cfg.ALULatency
 		}
-		e := &b.rob[(b.head+b.size)%len(b.rob)]
+		slot := b.head + b.size
+		if slot >= len(b.rob) {
+			slot -= len(b.rob)
+		}
+		e := &b.rob[slot]
 		*e = robEntry{seq: b.seq, done: done, swpf: in.Class == isa.ClassSwPrefetch}
 		b.size++
 		b.seq++
 		b.stats.Dispatched++
+	}
+}
+
+// NextRetireAt returns the completion cycle of the oldest in-flight
+// instruction — the earliest future cycle Retire can make progress — and
+// ok=false when the ROB is empty. Completion times are fixed at dispatch,
+// so between dispatches this is a constant the fast-forward scheduler can
+// skip toward.
+func (b *Backend) NextRetireAt() (cache.Cycle, bool) {
+	if b.size == 0 {
+		return 0, false
+	}
+	return b.rob[b.head].done, true
+}
+
+// ROBFull reports a full reorder buffer without DispatchBudget's
+// ROBFullCycles side effect; the fast-forward scheduler probes it when
+// deciding whether a ready FTQ head could actually dispatch.
+func (b *Backend) ROBFull() bool { return b.size == b.cfg.ROBSize }
+
+// SkipCycles bulk-accounts n elided cycles during which no dispatch or
+// retirement occurred (the fast-forward path's skipped span). The only
+// per-cycle counter the back-end owns is ROBFullCycles, incremented once
+// per DispatchBudget call when the ROB is full; a skipped span has frozen
+// occupancy, so the increment either applies to every elided cycle or to
+// none.
+func (b *Backend) SkipCycles(n int64) {
+	if b.size == b.cfg.ROBSize {
+		b.stats.ROBFullCycles += n
 	}
 }
 
@@ -188,7 +221,10 @@ func (b *Backend) Retire(now cache.Cycle) int {
 		if e.done > now {
 			break
 		}
-		b.head = (b.head + 1) % len(b.rob)
+		b.head++
+		if b.head == len(b.rob) {
+			b.head = 0
+		}
 		b.size--
 		b.stats.Retired++
 		if e.swpf {

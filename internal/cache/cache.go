@@ -125,8 +125,6 @@ type line struct {
 	valid    bool
 	ready    Cycle // fill completion; line usable for hits at/after this
 	prefetch bool  // filled by a prefetch and not yet demanded
-	lru      uint64
-	rrpv     uint8
 }
 
 // Backend is anything a Level can miss to.
@@ -137,11 +135,20 @@ type Backend interface {
 
 // Level is one set-associative cache level.
 type Level struct {
-	cfg    LevelConfig
-	sets   int
-	shift  uint
-	mask   uint64
+	cfg      LevelConfig
+	sets     int
+	shift    uint
+	tagShift uint // when sets is a power of two, tagOf is a single shift
+	mask     uint64
 	lines  []line // sets*ways, row-major
+	// keys mirrors lines: tag+1 when the way is valid, 0 when not. The hit
+	// scan walks this dense array instead of the line structs, one cache
+	// line of keys covering eight ways.
+	keys []uint64
+	// repl mirrors lines with per-way replacement state — the LRU
+	// timestamp or the SRRIP re-reference value, depending on cfg.Repl —
+	// so the victim scan is dense too.
+	repl   []uint64
 	lruClk uint64
 	next   Backend
 	rng    *xrand.Rand
@@ -168,8 +175,17 @@ func NewLevel(cfg LevelConfig, next Backend) (*Level, error) {
 		shift: shift,
 		mask:  uint64(sets - 1),
 		lines: make([]line, sets*cfg.Ways),
+		keys:  make([]uint64, sets*cfg.Ways),
+		repl:  make([]uint64, sets*cfg.Ways),
 		next:  next,
 		rng:   xrand.New(0xcafe ^ uint64(len(cfg.Name))),
+	}
+	if sets&(sets-1) == 0 {
+		ts := shift
+		for 1<<(ts-shift) < sets {
+			ts++
+		}
+		l.tagShift = ts
 	}
 	return l, nil
 }
@@ -192,6 +208,9 @@ func (l *Level) setIndex(lineAddr isa.Addr) int {
 }
 
 func (l *Level) tagOf(lineAddr isa.Addr) uint64 {
+	if l.tagShift != 0 {
+		return uint64(lineAddr) >> l.tagShift
+	}
 	return uint64(lineAddr) >> l.shift / uint64(l.sets)
 }
 
@@ -203,8 +222,9 @@ func (l *Level) setSlice(set int) []line {
 func (l *Level) Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle {
 	lineAddr = lineAddr.Line()
 	set := l.setIndex(lineAddr)
-	tag := l.tagOf(lineAddr)
-	ways := l.setSlice(set)
+	key := l.tagOf(lineAddr) + 1
+	base := set * l.cfg.Ways
+	keys := l.keys[base : base+l.cfg.Ways]
 
 	if kind == Demand {
 		l.stats.Accesses++
@@ -212,12 +232,12 @@ func (l *Level) Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle {
 		l.stats.PrefetchReqs++
 	}
 
-	for i := range ways {
-		w := &ways[i]
-		if !w.valid || w.tag != tag {
+	for i, k := range keys {
+		if k != key {
 			continue
 		}
 		// Present (possibly still in flight).
+		w := &l.lines[base+i]
 		if kind == Demand {
 			l.stats.Hits++
 			if w.prefetch {
@@ -228,7 +248,7 @@ func (l *Level) Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle {
 				l.stats.MergedInflight++
 			}
 		}
-		l.touch(w)
+		l.touch(base + i)
 		if w.ready > now {
 			return w.ready
 		}
@@ -241,21 +261,23 @@ func (l *Level) Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle {
 		l.stats.Misses++
 	}
 	ready := l.next.Access(lineAddr, now+l.cfg.HitLatency, kind)
-	v := l.victim(ways)
+	vi := l.victim(base)
+	v := &l.lines[base+vi]
 	if v.valid {
 		l.stats.Evictions++
 		if v.prefetch {
 			l.stats.PrefetchEvictedUnused++
 		}
 	}
-	*v = line{tag: tag, valid: true, ready: ready, prefetch: kind == Prefetch}
+	*v = line{tag: key - 1, valid: true, ready: ready, prefetch: kind == Prefetch}
+	keys[vi] = key
 	if kind == Prefetch {
 		l.stats.PrefetchFills++
 		if l.sink != nil {
 			l.sink.Event(obs.Event{Cycle: now, Kind: obs.EvPrefetchFill, Addr: uint64(lineAddr), Arg: ready - now})
 		}
 	}
-	l.fill(v)
+	l.fill(base + vi)
 	return ready
 }
 
@@ -288,54 +310,65 @@ func (l *Level) Ready(lineAddr isa.Addr) (Cycle, bool) {
 	return 0, false
 }
 
-func (l *Level) touch(w *line) {
+func (l *Level) touch(idx int) {
 	switch l.cfg.Repl {
 	case ReplLRU, ReplRandom:
 		l.lruClk++
-		w.lru = l.lruClk
+		l.repl[idx] = l.lruClk
 	case ReplSRRIP:
-		w.rrpv = 0
+		l.repl[idx] = 0
 	}
 }
 
-func (l *Level) fill(w *line) {
+func (l *Level) fill(idx int) {
 	switch l.cfg.Repl {
 	case ReplLRU, ReplRandom:
 		l.lruClk++
-		w.lru = l.lruClk
+		l.repl[idx] = l.lruClk
 	case ReplSRRIP:
-		w.rrpv = 2 // long re-reference interval on insertion
+		l.repl[idx] = 2 // long re-reference interval on insertion
 	}
 }
 
-func (l *Level) victim(ways []line) *line {
-	// Prefer an invalid way.
-	for i := range ways {
-		if !ways[i].valid {
-			return &ways[i]
+func (l *Level) victim(base int) int {
+	w := l.cfg.Ways
+	// Prefer an invalid way (key 0).
+	for i, k := range l.keys[base : base+w] {
+		if k == 0 {
+			return i
 		}
 	}
+	repl := l.repl[base : base+w]
 	switch l.cfg.Repl {
 	case ReplRandom:
-		return &ways[l.rng.Intn(len(ways))]
+		return l.rng.Intn(w)
 	case ReplSRRIP:
-		for {
-			for i := range ways {
-				if ways[i].rrpv >= 3 {
-					return &ways[i]
-				}
-			}
-			for i := range ways {
-				if ways[i].rrpv < 3 {
-					ways[i].rrpv++
-				}
+		// Equivalent to the textbook scan-then-age loop: every way ages by
+		// the same amount (3 minus the current maximum), and the victim is
+		// the first way holding that maximum.
+		var maxR uint64
+		for _, r := range repl {
+			if r > maxR {
+				maxR = r
 			}
 		}
+		if maxR < 3 {
+			d := 3 - maxR
+			for i := range repl {
+				repl[i] += d
+			}
+		}
+		for i, r := range repl {
+			if r >= 3 {
+				return i
+			}
+		}
+		panic("cache: SRRIP victim scan found no way")
 	default: // LRU
-		v := &ways[0]
-		for i := 1; i < len(ways); i++ {
-			if ways[i].lru < v.lru {
-				v = &ways[i]
+		v := 0
+		for i := 1; i < w; i++ {
+			if repl[i] < repl[v] {
+				v = i
 			}
 		}
 		return v
@@ -346,6 +379,8 @@ func (l *Level) victim(ways []line) *line {
 func (l *Level) Flush() {
 	for i := range l.lines {
 		l.lines[i] = line{}
+		l.keys[i] = 0
+		l.repl[i] = 0
 	}
 }
 

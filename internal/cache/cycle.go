@@ -1,0 +1,18 @@
+package cache
+
+import "math"
+
+// CycleMax is the sentinel "never" timestamp for event scheduling: the
+// fast-forward scheduler (internal/core) initializes its next-event bound
+// to CycleMax and takes minima against real completion times; a bound that
+// stays at CycleMax means no finite event is known and cycle-by-cycle
+// stepping must resume.
+const CycleMax = Cycle(math.MaxInt64)
+
+// MinCycle returns the earlier of two timestamps.
+func MinCycle(a, b Cycle) Cycle {
+	if a < b {
+		return a
+	}
+	return b
+}

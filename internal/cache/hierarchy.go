@@ -93,6 +93,17 @@ func (h *Hierarchy) PrefetchInstr(pc isa.Addr, now Cycle) Cycle {
 	return h.L1I.Access(pc.Line(), now, Prefetch)
 }
 
+// InstrReady reports the availability cycle of the instruction line
+// containing pc, if resident in the L1-I. Completion times are computed
+// eagerly: Level.Access and DRAM.Access decide every fill's ready cycle at
+// access time and touch no per-cycle state afterward, so between accesses
+// each line's ready cycle is a constant. That is what lets the fast-forward
+// scheduler (internal/core) treat fill completions as future events it can
+// jump toward without ticking the hierarchy.
+func (h *Hierarchy) InstrReady(pc isa.Addr) (Cycle, bool) {
+	return h.L1I.Ready(pc.Line())
+}
+
 // Load performs a demand data read.
 func (h *Hierarchy) Load(addr isa.Addr, now Cycle) Cycle {
 	return h.L1D.Access(addr.Line(), now, Demand)

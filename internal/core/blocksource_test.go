@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"frontsim/internal/isa"
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+)
+
+// plainSource hides a source's BlockSource refinement, forcing the
+// front-end onto the incremental Next/peek path.
+type plainSource struct{ src trace.Source }
+
+func (p plainSource) Next() (isa.Instr, error) { return p.src.Next() }
+
+// TestBlockSourceEquivalence pins the block-level fill path against the
+// incremental one: the same executor stream fed through both must produce
+// byte-identical statistics. The incremental path defines the block
+// boundary semantics; this is the differential harness that lets
+// BlockSource implementations be trusted on the hot path.
+func TestBlockSourceEquivalence(t *testing.T) {
+	for _, name := range []string{"secret_srv12", "secret_crypto52"} {
+		for _, conservative := range []bool{false, true} {
+			cfgName := "fdp24"
+			if conservative {
+				cfgName = "cons"
+			}
+			t.Run(name+"/"+cfgName, func(t *testing.T) {
+				t.Parallel()
+				run := func(plain bool) []byte {
+					cfg := smallConfig(cfgName, conservative)
+					src := source(t, name)
+					if _, ok := trace.AsBlockSource(src); !ok {
+						t.Fatal("suite source is not block-capable; the fast path is untested")
+					}
+					if plain {
+						src = plainSource{src}
+					}
+					st, err := RunSource(cfg, src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					j, err := st.CanonicalJSON()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return j
+				}
+				inc := run(true)
+				blk := run(false)
+				if !bytes.Equal(inc, blk) {
+					t.Errorf("stats diverge between fill paths:\nincremental: %s\nblock:       %s", inc, blk)
+				}
+			})
+		}
+	}
+}
+
+// TestBlockSourceLimitChop pins Limit.NextBlock's end-of-budget semantics:
+// whatever instruction count the budget lands on — mid-block, at a branch,
+// at the cap — the block path must agree with the incremental path.
+func TestBlockSourceLimitChop(t *testing.T) {
+	spec, ok := workload.Lookup("secret_int_44")
+	if !ok {
+		t.Fatal("suite workload missing")
+	}
+	for _, budget := range []int64{1, 2, 7, 1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007} {
+		inc := trace.NewLimit(source(t, spec.Name), budget)
+		blk := trace.NewLimit(source(t, spec.Name), budget)
+		var incInstrs []isa.Instr
+		for {
+			in, err := inc.Next()
+			if err != nil {
+				break
+			}
+			incInstrs = append(incInstrs, in)
+		}
+		bs, ok := trace.AsBlockSource(blk)
+		if !ok {
+			t.Fatal("limit over executor is not block-capable")
+		}
+		var blkInstrs []isa.Instr
+		for {
+			out, err := bs.NextBlock(nil, 8)
+			blkInstrs = append(blkInstrs, out...)
+			if err != nil {
+				break
+			}
+		}
+		if len(incInstrs) != len(blkInstrs) {
+			t.Fatalf("budget %d: %d instrs incremental vs %d block", budget, len(incInstrs), len(blkInstrs))
+		}
+		for i := range incInstrs {
+			if incInstrs[i] != blkInstrs[i] {
+				t.Fatalf("budget %d: instr %d differs: %+v vs %+v", budget, i, incInstrs[i], blkInstrs[i])
+			}
+		}
+	}
+}

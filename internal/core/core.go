@@ -51,6 +51,16 @@ type Config struct {
 	// on or off — so, like Audit, it is excluded from the fingerprint and
 	// observed and unobserved runs share cache entries.
 	Obs obs.Sink `json:"-"` //lint:allow observation is read-only; identical results with a sink attached or not is pinned by TestObsObservational
+	// FastForward enables the event-driven cycle-skipping fast path: when
+	// the machine provably cannot change state before a known future cycle
+	// (NextEventCycle), Run advances there in one jump, bulk-updating the
+	// per-cycle counters algebraically instead of ticking through the
+	// span (see DESIGN §10). The skipped cycles are accounted exactly, so
+	// results are byte-identical with it on or off — pinned by
+	// TestFastForwardEquivalence and FuzzFastForwardEquivalence — and,
+	// like Audit and Obs, it is excluded from the fingerprint:
+	// fast-forwarded and cycle-stepped runs share run-cache entries.
+	FastForward bool `json:"-"` //lint:allow the fast path is results-invariant; byte-identical Stats with it on or off is pinned by TestFastForwardEquivalence and FuzzFastForwardEquivalence
 }
 
 // DefaultConfig returns the Table I machine with the industry-standard
@@ -296,7 +306,17 @@ func (s *Sim) Run() (Stats, error) {
 	const idleLimit = 1_000_000 // cycles without retirement => wedged
 	idle := cache.Cycle(0)
 	for !s.Done() {
-		if s.Step() == 0 {
+		retired := 0
+		if s.cfg.FastForward {
+			// Skipped spans retire nothing by construction, so they count
+			// toward the idle window exactly as stepping through them would.
+			n, r := s.StepN()
+			retired = r
+			idle += n - 1
+		} else {
+			retired = s.Step()
+		}
+		if retired == 0 {
 			idle++
 			if idle > idleLimit {
 				return Stats{}, fmt.Errorf("core: no retirement for %d cycles at cycle %d (wedged pipeline)", idleLimit, s.now)

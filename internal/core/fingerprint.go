@@ -26,7 +26,12 @@ import (
 //	3  Stats gained WarmupOvershoot (warmup-boundary accounting); schema-2
 //	   snapshots lack the field and StatsFromJSON's DisallowUnknownFields
 //	   would reject schema-3 snapshots under the old decoder
-const FingerprintSchema = 3
+//	4  the run loop gained the event-driven fast-forward path
+//	   (Config.FastForward; fingerprint-excluded like Audit/Obs). The fast
+//	   path is proven byte-identical, but schema-3 entries were written by
+//	   binaries whose cycle loop predates the skip scheduler, so they are
+//	   retired rather than trusted across the semantics boundary
+const FingerprintSchema = 4
 
 // PrefetchFingerprinter lets an attached hardware prefetcher contribute a
 // stable identity to Config.Fingerprint. Prefetchers are constructed fresh

@@ -28,31 +28,83 @@ func TestObsObservational(t *testing.T) {
 	baseFP := cfg.Fingerprint()
 
 	for _, stride := range []int64{1, 7, 64} {
-		var events bytes.Buffer
-		o := obs.NewObserver(obs.Options{Stride: stride, SampleCap: 512, Events: &events})
-		ocfg := cfg
-		ocfg.Obs = o
-		st, err := RunSource(ocfg, source(t, "secret_srv12"))
-		if err != nil {
-			t.Fatalf("stride %d: %v", stride, err)
+		// The guarantee must hold in both run-loop modes: the fast-forward
+		// path synthesizes the skipped spans' samples, and neither the sink
+		// nor the synthesis may perturb results.
+		for _, ff := range []bool{false, true} {
+			var events bytes.Buffer
+			o := obs.NewObserver(obs.Options{Stride: stride, SampleCap: 512, Events: &events})
+			ocfg := cfg
+			ocfg.Obs = o
+			ocfg.FastForward = ff
+			st, err := RunSource(ocfg, source(t, "secret_srv12"))
+			if err != nil {
+				t.Fatalf("stride %d ff=%v: %v", stride, ff, err)
+			}
+			gotJSON, err := st.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotJSON, baseJSON) {
+				t.Errorf("stride %d ff=%v: Stats diverged with observation on:\n%s\nvs\n%s", stride, ff, gotJSON, baseJSON)
+			}
+			if fp := ocfg.Fingerprint(); fp != baseFP {
+				t.Errorf("stride %d ff=%v: fingerprint changed with a sink attached: %s vs %s", stride, ff, fp, baseFP)
+			}
+			// Guard against a vacuous pass: the sink must actually have been
+			// driven.
+			if o.TotalSamples() == 0 {
+				t.Errorf("stride %d ff=%v: no samples delivered", stride, ff)
+			}
+			if err := o.Flush(); err != nil {
+				t.Fatalf("stride %d ff=%v: event stream error: %v", stride, ff, err)
+			}
 		}
-		gotJSON, err := st.CanonicalJSON()
-		if err != nil {
-			t.Fatal(err)
+	}
+}
+
+// TestObsFastForwardSampleIdentity pins the fast path's sample synthesis:
+// at every stride, a fast-forwarded run must deliver exactly the samples —
+// same cycles, same contents, same order — and exactly the event trace
+// bytes a cycle-by-cycle run produces. Skipped spans are invisible to the
+// observer.
+func TestObsFastForwardSampleIdentity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WarmupInstrs = 10_000
+	cfg.MaxInstrs = 60_000
+
+	for _, stride := range []int64{1, 7, 64} {
+		observe := func(ff bool) (*obs.Observer, *bytes.Buffer) {
+			var events bytes.Buffer
+			o := obs.NewObserver(obs.Options{Stride: stride, SampleCap: 1 << 20, Events: &events})
+			c := cfg
+			c.Obs = o
+			c.FastForward = ff
+			if _, err := RunSource(c, source(t, "secret_srv12")); err != nil {
+				t.Fatalf("stride %d ff=%v: %v", stride, ff, err)
+			}
+			if err := o.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			return o, &events
 		}
-		if !bytes.Equal(gotJSON, baseJSON) {
-			t.Errorf("stride %d: Stats diverged with observation on:\n%s\nvs\n%s", stride, gotJSON, baseJSON)
+		slow, slowEvents := observe(false)
+		fast, fastEvents := observe(true)
+
+		ss, fs := slow.Samples(), fast.Samples()
+		if len(ss) != len(fs) {
+			t.Fatalf("stride %d: %d samples cycle-by-cycle vs %d fast-forwarded", stride, len(ss), len(fs))
 		}
-		if fp := ocfg.Fingerprint(); fp != baseFP {
-			t.Errorf("stride %d: fingerprint changed with a sink attached: %s vs %s", stride, fp, baseFP)
+		if len(ss) == 0 {
+			t.Fatalf("stride %d: no samples delivered", stride)
 		}
-		// Guard against a vacuous pass: the sink must actually have been
-		// driven.
-		if o.TotalSamples() == 0 {
-			t.Errorf("stride %d: no samples delivered", stride)
+		for i := range ss {
+			if ss[i] != fs[i] {
+				t.Fatalf("stride %d: sample %d diverges:\ncycle-by-cycle %+v\nfast-forward  %+v", stride, i, ss[i], fs[i])
+			}
 		}
-		if err := o.Flush(); err != nil {
-			t.Fatalf("stride %d: event stream error: %v", stride, err)
+		if !bytes.Equal(slowEvents.Bytes(), fastEvents.Bytes()) {
+			t.Fatalf("stride %d: event traces diverge", stride)
 		}
 	}
 }

@@ -68,6 +68,12 @@ type Params struct {
 	// run finishes. Cached cells never invoke it — there is no simulation
 	// to observe. Observational only; never part of cache keys.
 	ObsRun func(workload, series string) obs.Sink `json:"-"`
+	// FastForward enables the event-driven cycle-skipping fast path
+	// (core.Config.FastForward) for every simulated cell. Results are
+	// byte-identical with it on or off (TestFastForwardEquivalence), so it
+	// is excluded from fingerprints and cache keys: fast-forwarded and
+	// cycle-stepped runs share cache entries. DefaultParams turns it on.
+	FastForward bool `json:"-"`
 }
 
 // obsRecord exports one cell's metrics to the suite collector.
@@ -89,6 +95,7 @@ func DefaultParams() Params {
 		ProfileInstrs: 2_000_000,
 		AsmDB:         asmdb.DefaultOptions(),
 		ExecSeedSalt:  0x5eed5eed5eed5eed,
+		FastForward:   true,
 	}
 }
 
@@ -171,8 +178,11 @@ func (m *Matrix) seriesPtr(id seriesID) *core.Stats {
 // cacheSchema versions the run-cache key layout. Bump together with
 // core.FingerprintSchema when key semantics change. Schema 2: ftq.Stats
 // gained the per-cycle scenario partition, changing the cached Stats value
-// shape. Schema 3: core.Stats gained WarmupOvershoot.
-const cacheSchema = 3
+// shape. Schema 3: core.Stats gained WarmupOvershoot. Schema 4: the run
+// loop gained the event-driven fast-forward path; entries written by
+// pre-fast-forward binaries are retired rather than reused across the
+// semantics boundary (TestStaleSchemaEntryRejected).
+const cacheSchema = 4
 
 // Program-variant tags in run-cache keys. The config fingerprint cannot
 // see which instruction stream it runs against, so the key must.
@@ -230,6 +240,7 @@ func (p Params) consConfig() core.Config {
 	c := core.ConservativeConfig()
 	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
 	c.Audit = p.Audit
+	c.FastForward = p.FastForward
 	return c
 }
 
@@ -237,6 +248,7 @@ func (p Params) fdpConfig() core.Config {
 	c := core.DefaultConfig()
 	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
 	c.Audit = p.Audit
+	c.FastForward = p.FastForward
 	return c
 }
 

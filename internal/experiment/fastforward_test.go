@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"frontsim/internal/core"
+	"frontsim/internal/runner"
+	"frontsim/internal/workload"
+)
+
+// TestFastForwardEquivalence is the differential-equivalence harness for
+// the event-driven fast path: the full per-workload matrix — all seven
+// series, profiling and planning included — run cycle-by-cycle and
+// fast-forwarded must produce byte-identical canonical Stats JSON, and the
+// FastForward flag must be invisible to every config fingerprint (like
+// Audit and Obs), so both modes share run-cache entries.
+func TestFastForwardEquivalence(t *testing.T) {
+	spec, ok := workload.Lookup("public_srv_60")
+	if !ok {
+		t.Fatal("suite workload missing")
+	}
+	p := tinyParams()
+
+	pOff := p
+	pOff.FastForward = false
+	pOn := p
+	pOn.FastForward = true
+
+	// Fingerprint exclusion first: a leak here would split the cache by
+	// run-loop mode and invalidate the sharing the harness proves safe.
+	if pOff.consConfig().Fingerprint() != pOn.consConfig().Fingerprint() {
+		t.Fatal("FastForward leaked into the conservative fingerprint")
+	}
+	if pOff.fdpConfig().Fingerprint() != pOn.fdpConfig().Fingerprint() {
+		t.Fatal("FastForward leaked into the FDP fingerprint")
+	}
+	offEIP, err := pOff.eipConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	onEIP, err := pOn.eipConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offEIP.Fingerprint() != onEIP.Fingerprint() {
+		t.Fatal("FastForward leaked into the EIP fingerprint")
+	}
+
+	mOff, err := RunMatrix(spec, 1, pOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOn, err := RunMatrix(spec, 1, pOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := seriesID(0); id < numSeries; id++ {
+		off, err := mOff.seriesPtr(id).CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := mOn.seriesPtr(id).CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(off, on) {
+			t.Errorf("%s: stats diverge under fast-forward:\ncycle-by-cycle: %s\nfast-forward:   %s", seriesLabels[id], off, on)
+		}
+	}
+}
+
+// TestFastForwardAblationEquivalence extends the differential harness to
+// an ablation sweep (non-default FTQ depths, including the paper's
+// 2-entry conservative shape), comparing the fully rendered tables.
+func TestFastForwardAblationEquivalence(t *testing.T) {
+	spec, ok := workload.Lookup("secret_crypto52")
+	if !ok {
+		t.Fatal("suite workload missing")
+	}
+	specs := []workload.Spec{spec}
+	depths := []int{2, 8, 24}
+
+	p := tinyParams()
+	p.FastForward = false
+	off, err := AblationFTQDepth(specs, depths, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FastForward = true
+	on, err := AblationFTQDepth(specs, depths, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.String() != on.String() {
+		t.Fatalf("ablation table diverges under fast-forward:\ncycle-by-cycle:\n%s\nfast-forward:\n%s", off, on)
+	}
+}
+
+// TestStaleSchemaEntryRejected pins the cache-key schema bump: an entry
+// written under the pre-fast-forward key layout (schema 3) must miss, not
+// be silently reused, when the current binary probes the same simulation.
+// Before cacheSchema moved to 4 this test failed — the stale entry's key
+// was byte-identical to the live one.
+func TestStaleSchemaEntryRejected(t *testing.T) {
+	if cacheSchema != core.FingerprintSchema {
+		t.Fatalf("cacheSchema %d and core.FingerprintSchema %d moved apart; bump them in lockstep", cacheSchema, core.FingerprintSchema)
+	}
+	c, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyParams()
+	p.Cache = c
+	spec, ok := workload.Lookup("public_srv_60")
+	if !ok {
+		t.Fatal("suite workload missing")
+	}
+	keys, err := newMatrixKeys(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write the FDP cell exactly as a schema-3 binary would have keyed it.
+	stale := keys.series[serFDP]
+	stale.Schema = 3
+	if err := c.Put(stale, core.Stats{Config: "stale-schema-3"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got core.Stats
+	hit, err := c.Get(keys.series[serFDP], &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatalf("stale schema-3 cache entry silently reused: %+v", got)
+	}
+
+	// The stale entry is still addressable under its own (old) key — the
+	// bump retires it from current lookups without corrupting the store.
+	hit, err = c.Get(stale, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || got.Config != "stale-schema-3" {
+		t.Fatal("stale entry unexpectedly unreadable under its own key")
+	}
+}

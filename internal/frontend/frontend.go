@@ -147,16 +147,22 @@ type Stats struct {
 type Frontend struct {
 	cfg Config
 	bp  *bpu.BPU
-	q   *ftq.FTQ
-	mem *cache.Hierarchy
-	src trace.Source
+	q    *ftq.FTQ
+	mem  *cache.Hierarchy
+	src  trace.Source
+	bsrc trace.BlockSource // non-nil when src yields whole blocks
 
 	// triggers maps a trigger PC to target addresses prefetched when the
 	// trigger's block completes fetch (AsmDB "no insertion overhead"
-	// mode).
-	triggers map[isa.Addr][]isa.Addr
+	// mode). trigFilter is a bitset over hashed trigger PCs consulted
+	// before the map: the fill loop probes every filled instruction, and
+	// almost none are triggers, so the lookup must be branch-cheap.
+	// False positives only cost a map miss; membership is unchanged.
+	triggers   map[isa.Addr][]isa.Addr
+	trigFilter []uint64
 
-	peeked   *isa.Instr
+	peeked   *isa.Instr // nil or &peekBuf; a stable buffer keeps the per-instruction peek off the heap
+	peekBuf  isa.Instr
 	blockBuf []isa.Instr
 	srcDone  bool
 	srcErr   error
@@ -191,7 +197,7 @@ func New(cfg Config, src trace.Source, mem *cache.Hierarchy, triggers map[isa.Ad
 	if err != nil {
 		return nil, err
 	}
-	return &Frontend{
+	f := &Frontend{
 		cfg:      cfg,
 		bp:       bp,
 		q:        ftq.New(cfg.FTQEntries),
@@ -200,7 +206,25 @@ func New(cfg Config, src trace.Source, mem *cache.Hierarchy, triggers map[isa.Ad
 		triggers: triggers,
 		stallSeq: -1,
 		blockBuf: make([]isa.Instr, 0, ftq.MaxBlockInstrs),
-	}, nil
+	}
+	f.bsrc, _ = trace.AsBlockSource(src)
+	if len(triggers) > 0 {
+		f.trigFilter = make([]uint64, trigFilterWords)
+		//lint:allow detmap bitset ORs commute, so insertion order cannot escape
+		for pc := range triggers {
+			h := trigHash(pc)
+			f.trigFilter[h>>6] |= 1 << (h & 63)
+		}
+	}
+	return f, nil
+}
+
+// trigFilterWords sizes the trigger pre-filter at 2^18 bits (32 KiB);
+// trigger tables hold a few thousand PCs, keeping false positives rare.
+const trigFilterWords = 1 << 12
+
+func trigHash(pc isa.Addr) uint64 {
+	return (uint64(pc) >> 2) & (trigFilterWords*64 - 1)
 }
 
 // FTQ exposes the queue (stats and inspection).
@@ -252,13 +276,26 @@ func (f *Frontend) peek() *isa.Instr {
 		}
 		return nil
 	}
-	f.peeked = &in
+	f.peekBuf = in
+	f.peeked = &f.peekBuf
 	return f.peeked
 }
 
 // nextBlock accumulates the next basic block from the true-path stream: up
 // to MaxBlockInstrs contiguous instructions, ended early by any branch.
+// Block-capable sources hand over the whole run in one call; the
+// incremental path below defines the boundary semantics both must match.
 func (f *Frontend) nextBlock() []isa.Instr {
+	if f.bsrc != nil && !f.srcDone {
+		blk, err := f.bsrc.NextBlock(f.blockBuf[:0], ftq.MaxBlockInstrs)
+		if err != nil {
+			f.srcDone = true
+			if !errors.Is(err, trace.ErrEnd) {
+				f.srcErr = err
+			}
+		}
+		return blk
+	}
 	f.blockBuf = f.blockBuf[:0]
 	for len(f.blockBuf) < ftq.MaxBlockInstrs {
 		p := f.peek()
@@ -274,10 +311,9 @@ func (f *Frontend) nextBlock() []isa.Instr {
 				break
 			}
 		}
-		in := *p
 		f.peeked = nil
-		f.blockBuf = append(f.blockBuf, in)
-		if in.Class.IsBranch() {
+		f.blockBuf = append(f.blockBuf, *p)
+		if p.Class.IsBranch() {
 			break
 		}
 	}
@@ -376,7 +412,11 @@ func (f *Frontend) firePrefetches(blk []isa.Instr, ready cache.Cycle) {
 		if in.Class == isa.ClassSwPrefetch {
 			f.pending.Push(pendingPrefetch{at: at, target: in.Target})
 		}
-		if f.triggers != nil {
+		if f.trigFilter != nil {
+			h := trigHash(in.PC)
+			if f.trigFilter[h>>6]&(1<<(h&63)) == 0 {
+				continue
+			}
 			if targets, ok := f.triggers[in.PC]; ok {
 				for _, t := range targets {
 					f.pending.Push(pendingPrefetch{at: at, target: t, trigger: true})

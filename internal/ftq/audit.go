@@ -66,8 +66,8 @@ func (q *FTQ) CheckInvariants(now cache.Cycle) error {
 			return fmt.Errorf("ftq: head (pc %#x) sent %d instructions to decode but its fetch completes at %d (now %d)", uint64(e.pc), e.consumed, e.ready, now)
 		}
 		for j := 0; j < e.nlines; j++ {
-			ref, ok := q.lineRefs[e.lines[j]]
-			if !ok || ref.count <= 0 {
+			si := q.lineRefs.find(e.lines[j])
+			if si < 0 || q.lineRefs.slots[si].count <= 0 {
 				return fmt.Errorf("ftq: entry %d (pc %#x) line %#x has no live merge-table reference", i, uint64(e.pc), uint64(e.lines[j]))
 			}
 		}

@@ -111,7 +111,7 @@ func TestAuditCatchesFollowerDelivery(t *testing.T) {
 func TestAuditCatchesLineRefLeak(t *testing.T) {
 	q := New(4)
 	q.Push(block(0x1000, 4), 0, fetchAt(5, nil))
-	clear(q.lineRefs)
+	q.lineRefs.clear()
 	err := q.CheckInvariants(1)
 	if err == nil {
 		t.Fatal("auditor accepted a dangling line reference")

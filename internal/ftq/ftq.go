@@ -157,8 +157,97 @@ func (s *Stats) AvgNonHeadFetch() float64 {
 }
 
 type lineRef struct {
+	key   isa.Addr // line address + 1; 0 marks an empty slot
 	ready cache.Cycle
-	count int
+	count int32
+}
+
+// lineRefTable is a fixed-size open-addressing hash table over the cache
+// lines covered by resident entries. The queue holds at most 2·capacity
+// live lines (two per entry), so a table sized 4·capacity stays under 50%
+// load and every operation is a short linear probe — much cheaper than a
+// Go map on the per-push/per-retire path, and trivially deterministic.
+type lineRefTable struct {
+	slots []lineRef
+	shift uint // Fibonacci-hash shift: index = key*phi64 >> shift
+}
+
+func newLineRefTable(capacity int) lineRefTable {
+	n, shift := 16, uint(60)
+	for n < capacity*4 {
+		n <<= 1
+		shift--
+	}
+	return lineRefTable{slots: make([]lineRef, n), shift: shift}
+}
+
+const phi64 = 0x9e3779b97f4a7c15
+
+func (t *lineRefTable) home(key isa.Addr) int {
+	return int(uint64(key) * phi64 >> t.shift)
+}
+
+// find returns the slot index holding line, or -1.
+func (t *lineRefTable) find(line isa.Addr) int {
+	key := line + 1
+	for i := t.home(key); ; {
+		s := &t.slots[i]
+		if s.key == key {
+			return i
+		}
+		if s.key == 0 {
+			return -1
+		}
+		if i++; i == len(t.slots) {
+			i = 0
+		}
+	}
+}
+
+// insert adds line (which must be absent) with an initial count of 1.
+func (t *lineRefTable) insert(line isa.Addr, ready cache.Cycle) {
+	key := line + 1
+	for i := t.home(key); ; {
+		if t.slots[i].key == 0 {
+			t.slots[i] = lineRef{key: key, ready: ready, count: 1}
+			return
+		}
+		if i++; i == len(t.slots) {
+			i = 0
+		}
+	}
+}
+
+// del removes the slot at index i, backward-shifting any displaced
+// followers so linear probing stays sound without tombstones.
+func (t *lineRefTable) del(i int) {
+	n := len(t.slots)
+	for j := i; ; {
+		t.slots[i] = lineRef{}
+		for {
+			if j++; j == n {
+				j = 0
+			}
+			s := t.slots[j]
+			if s.key == 0 {
+				return
+			}
+			// s can stay at j only if its home lies cyclically after the
+			// hole; otherwise the hole would break s's probe chain.
+			h := t.home(s.key)
+			if (j-h+n)%n >= (j-i+n)%n {
+				t.slots[i] = s
+				i = j
+				break
+			}
+		}
+	}
+}
+
+func (t *lineRefTable) clear() {
+	for i := range t.slots {
+		t.slots[i] = lineRef{}
+	}
 }
 
 // FTQ is the fetch target queue.
@@ -167,7 +256,7 @@ type FTQ struct {
 	head    int
 	size    int
 
-	lineRefs  map[isa.Addr]lineRef
+	lineRefs  lineRefTable
 	prefixMax cache.Cycle // max ready over all entries ever pushed
 
 	stats Stats
@@ -184,7 +273,7 @@ func New(capacity int) *FTQ {
 	}
 	return &FTQ{
 		entries:  make([]Entry, capacity),
-		lineRefs: make(map[isa.Addr]lineRef, capacity*2),
+		lineRefs: newLineRefTable(capacity),
 	}
 }
 
@@ -233,7 +322,10 @@ func (q *FTQ) Stats() Stats { return q.stats }
 func (q *FTQ) ResetStats() { q.stats = Stats{} }
 
 func (q *FTQ) at(i int) *Entry {
-	return &q.entries[(q.head+i)%len(q.entries)]
+	if i += q.head; i >= len(q.entries) {
+		i -= len(q.entries)
+	}
+	return &q.entries[i]
 }
 
 // Head returns the head entry, or nil when empty.
@@ -282,10 +374,10 @@ func (q *FTQ) Push(instrs []isa.Instr, now cache.Cycle, fetch FetchFunc) (cache.
 	ready := cache.Cycle(0)
 	for i := 0; i < e.nlines; i++ {
 		line := e.lines[i]
-		if ref, ok := q.lineRefs[line]; ok {
+		if si := q.lineRefs.find(line); si >= 0 {
 			// Covered by a resident entry: merge.
+			ref := &q.lineRefs.slots[si]
 			ref.count++
-			q.lineRefs[line] = ref
 			q.stats.LinesMerged++
 			if q.sink != nil {
 				q.sink.Event(obs.Event{Cycle: int64(now), Kind: obs.EvMergeHit, Addr: uint64(line)})
@@ -296,7 +388,7 @@ func (q *FTQ) Push(instrs []isa.Instr, now cache.Cycle, fetch FetchFunc) (cache.
 			continue
 		}
 		r := fetch(line, now)
-		q.lineRefs[line] = lineRef{ready: r, count: 1}
+		q.lineRefs.insert(line, r)
 		q.stats.LinesRequested++
 		if r > ready {
 			ready = r
@@ -399,7 +491,9 @@ func (q *FTQ) PopReady(now cache.Cycle, maxInstrs int, out []isa.Instr) []isa.In
 		q.stats.Instructions += int64(take)
 		if h.consumed == h.n {
 			q.retire(h)
-			q.head = (q.head + 1) % len(q.entries)
+			if q.head++; q.head == len(q.entries) {
+				q.head = 0
+			}
 			q.size--
 			q.promote(now)
 		}
@@ -411,13 +505,10 @@ func (q *FTQ) PopReady(now cache.Cycle, maxInstrs int, out []isa.Instr) []isa.In
 // classification.
 func (q *FTQ) retire(e *Entry) {
 	for i := 0; i < e.nlines; i++ {
-		line := e.lines[i]
-		ref := q.lineRefs[line]
-		ref.count--
-		if ref.count <= 0 {
-			delete(q.lineRefs, line)
-		} else {
-			q.lineRefs[line] = ref
+		si := q.lineRefs.find(e.lines[i])
+		ref := &q.lineRefs.slots[si]
+		if ref.count--; ref.count <= 0 {
+			q.lineRefs.del(si)
 		}
 	}
 	lat := e.ready - e.issue
@@ -447,5 +538,5 @@ func (q *FTQ) Flush() {
 	}
 	q.head = 0
 	q.size = 0
-	clear(q.lineRefs)
+	q.lineRefs.clear()
 }

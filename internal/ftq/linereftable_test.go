@@ -1,0 +1,86 @@
+package ftq
+
+import (
+	"testing"
+
+	"frontsim/internal/cache"
+	"frontsim/internal/isa"
+	"frontsim/internal/xrand"
+)
+
+// TestLineRefTableAgainstMap drives the open-addressing merge table and a
+// plain Go map through the same random insert/bump/drop sequence and
+// requires identical contents throughout. Small table (capacity 2 → 16
+// slots) plus line addresses drawn from a narrow range force frequent
+// probe collisions, exercising the backward-shift deletion path.
+func TestLineRefTableAgainstMap(t *testing.T) {
+	type ref struct {
+		ready cache.Cycle
+		count int32
+	}
+	rng := xrand.New(0x11fe)
+	tbl := newLineRefTable(2)
+	model := map[isa.Addr]ref{}
+	live := []isa.Addr{}
+	for op := 0; op < 20000; op++ {
+		if len(live) < 4 && rng.Uint64n(2) == 0 {
+			// Insert a new line (or bump it if it collides with a live one).
+			line := isa.Addr(rng.Uint64n(64) * isa.LineSize)
+			if _, ok := model[line]; ok {
+				si := tbl.find(line)
+				if si < 0 {
+					t.Fatalf("op %d: line %#x in model but not in table", op, uint64(line))
+				}
+				tbl.slots[si].count++
+				r := model[line]
+				r.count++
+				model[line] = r
+			} else {
+				ready := cache.Cycle(rng.Uint64n(1000))
+				tbl.insert(line, ready)
+				model[line] = ref{ready: ready, count: 1}
+				live = append(live, line)
+			}
+		} else if len(live) > 0 {
+			// Drop one reference from a random live line.
+			i := int(rng.Uint64n(uint64(len(live))))
+			line := live[i]
+			si := tbl.find(line)
+			if si < 0 {
+				t.Fatalf("op %d: live line %#x missing from table", op, uint64(line))
+			}
+			if tbl.slots[si].count--; tbl.slots[si].count <= 0 {
+				tbl.del(si)
+				delete(model, line)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				r := model[line]
+				r.count--
+				model[line] = r
+			}
+		}
+		// Full cross-check: every model entry findable with matching state,
+		// every table slot backed by the model.
+		for line, want := range model {
+			si := tbl.find(line)
+			if si < 0 {
+				t.Fatalf("op %d: line %#x lost", op, uint64(line))
+			}
+			got := tbl.slots[si]
+			if got.ready != want.ready || got.count != want.count {
+				t.Fatalf("op %d: line %#x = {ready %d, count %d}, want {ready %d, count %d}",
+					op, uint64(line), got.ready, got.count, want.ready, want.count)
+			}
+		}
+		n := 0
+		for _, s := range tbl.slots {
+			if s.key != 0 {
+				n++
+			}
+		}
+		if n != len(model) {
+			t.Fatalf("op %d: table holds %d keys, model %d", op, n, len(model))
+		}
+	}
+}

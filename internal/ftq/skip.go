@@ -1,0 +1,93 @@
+package ftq
+
+import (
+	"frontsim/internal/cache"
+	"frontsim/internal/obs"
+)
+
+// Classify returns the scenario classification Tick would record for a
+// cycle at which the queue holds its current contents. It is pure: entry
+// ready times are fixed at push, so the classification of any cycle in a
+// span with frozen contents is decidable without ticking through it.
+func (q *FTQ) Classify(now cache.Cycle) obs.Scenario {
+	if q.size == 0 {
+		return obs.ScenarioEmpty
+	}
+	if q.at(0).ready > now {
+		for i := 1; i < q.size; i++ {
+			if q.at(i).ready <= now {
+				return obs.Scenario2
+			}
+		}
+		return obs.Scenario3
+	}
+	return obs.ScenarioShootThrough
+}
+
+// SkipTo accounts the cycles [from, to) in one step, exactly as if Tick
+// had been called once per cycle with the queue's contents unchanged
+// throughout — the caller (the fast-forward scheduler) guarantees no Push,
+// PopReady or Flush lands inside the span. The per-cycle counters are
+// integrable in closed form because every entry's ready cycle is a
+// constant of the span:
+//
+//   - the head crosses from stalling to ready at most once (at its ready
+//     cycle), splitting the span into a head-stall prefix and a
+//     shoot-through suffix;
+//   - within the stall prefix the number of completed followers is
+//     non-decreasing, so Scenario 3 cycles form a prefix and Scenario 2
+//     cycles a suffix, split at the earliest follower completion;
+//   - WaitingEntryCycles is the sum over followers of their overlap with
+//     the stall prefix.
+func (q *FTQ) SkipTo(from, to cache.Cycle) {
+	if to <= from {
+		return
+	}
+	q.stats.Cycles += int64(to - from)
+	if q.size == 0 {
+		q.stats.EmptyCycles += int64(to - from)
+	} else {
+		// stallEnd clamps the head's ready cycle into the span: cycles in
+		// [from, stallEnd) see a stalling head, [stallEnd, to) a ready one.
+		stallEnd := q.at(0).ready
+		if stallEnd < from {
+			stallEnd = from
+		}
+		if stallEnd > to {
+			stallEnd = to
+		}
+		if stallEnd > from {
+			q.stats.HeadStallCycles += int64(stallEnd - from)
+			firstFollower := cache.CycleMax
+			for i := 1; i < q.size; i++ {
+				r := q.at(i).ready
+				if r < firstFollower {
+					firstFollower = r
+				}
+				start := r
+				if start < from {
+					start = from
+				}
+				if start < stallEnd {
+					q.stats.WaitingEntryCycles += int64(stallEnd - start)
+				}
+			}
+			s2Start := firstFollower
+			if s2Start < from {
+				s2Start = from
+			}
+			if s2Start > stallEnd {
+				s2Start = stallEnd
+			}
+			q.stats.Scenario3Cycles += int64(s2Start - from)
+			q.stats.Scenario2Cycles += int64(stallEnd - s2Start)
+		}
+		q.stats.ShootThroughCycles += int64(to - stallEnd)
+	}
+	if q.sink != nil {
+		q.lastState = q.Classify(to - 1)
+		if to-1 > q.lastNow {
+			q.lastNow = to - 1
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package ftq
+
+import (
+	"testing"
+
+	"frontsim/internal/cache"
+	"frontsim/internal/isa"
+	"frontsim/internal/obs"
+	"frontsim/internal/xrand"
+)
+
+// TestSkipToMatchesTickProperty drives two identically-loaded queues —
+// one ticked cycle by cycle, one bulk-accounted with SkipTo over the same
+// spans — through randomized push/pop traffic, and requires every counter
+// (and the observer-facing classification) to agree after every span. The
+// random latencies make head-ready and follower-ready transitions land
+// inside spans, exercising the closed-form split points.
+func TestSkipToMatchesTickProperty(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		r := xrand.New(seed ^ 0xf00d_5eed)
+		capn := 1 + r.Intn(24)
+		qt, qs := New(capn), New(capn)
+		observed := r.Bool(0.5)
+		if observed {
+			qt.SetObserver(obs.NewObserver(obs.Options{Stride: 1}))
+			qs.SetObserver(obs.NewObserver(obs.Options{Stride: 1}))
+		}
+		pc := isa.Addr(0x1000)
+		now := cache.Cycle(1)
+		for phase := 0; phase < 6; phase++ {
+			// Mutation window: identical pushes/pops on both queues, both
+			// ticked per cycle.
+			for i, n := 0, r.Intn(25); i < n; i++ {
+				if !qt.Full() && r.Bool(0.6) {
+					k := 1 + r.Intn(MaxBlockInstrs)
+					lat := cache.Cycle(r.Intn(400))
+					fetch := func(line isa.Addr, at cache.Cycle) cache.Cycle { return at + lat }
+					qt.Push(block(pc, k), now, fetch)
+					qs.Push(block(pc, k), now, fetch)
+					pc += isa.Addr(k * isa.InstrSize)
+				}
+				if r.Bool(0.4) {
+					w := 1 + r.Intn(8)
+					qt.PopReady(now, w, nil)
+					qs.PopReady(now, w, nil)
+				}
+				qt.Tick(now)
+				qs.Tick(now)
+				now++
+			}
+			// Frozen span: contents untouched; one queue ticks through it,
+			// the other jumps.
+			span := cache.Cycle(1 + r.Intn(500))
+			for c := now; c < now+span; c++ {
+				qt.Tick(c)
+			}
+			qs.SkipTo(now, now+span)
+			now += span
+			if qt.Stats() != qs.Stats() {
+				t.Fatalf("seed %d phase %d (cap %d, span %d ending at %d): stats diverge:\nticked: %+v\nskipped: %+v",
+					seed, phase, capn, span, now, qt.Stats(), qs.Stats())
+			}
+			if observed && qt.LastState() != qs.LastState() {
+				t.Fatalf("seed %d phase %d: last state %v (ticked) vs %v (skipped)", seed, phase, qt.LastState(), qs.LastState())
+			}
+			if err := qs.CheckInvariants(now - 1); err != nil {
+				t.Fatalf("seed %d phase %d: invariants broken after SkipTo: %v", seed, phase, err)
+			}
+		}
+	}
+}
+
+// TestSkipToSplitPoints pins the closed-form boundaries deterministically:
+// a span that starts in Scenario 3, crosses a follower completion into
+// Scenario 2, then crosses the head's completion into shoot-through.
+func TestSkipToSplitPoints(t *testing.T) {
+	build := func() *FTQ {
+		q := New(4)
+		// Head ready at 100, follower at 40.
+		q.Push(block(0x1000, 2), 0, func(isa.Addr, cache.Cycle) cache.Cycle { return 100 })
+		q.Push(block(0x2000, 2), 0, func(isa.Addr, cache.Cycle) cache.Cycle { return 40 })
+		return q
+	}
+	qt, qs := build(), build()
+	for c := cache.Cycle(10); c < 130; c++ {
+		qt.Tick(c)
+	}
+	qs.SkipTo(10, 130)
+	st := qs.Stats()
+	if qt.Stats() != st {
+		t.Fatalf("stats diverge:\nticked: %+v\nskipped: %+v", qt.Stats(), st)
+	}
+	// [10,40) Scenario 3, [40,100) Scenario 2, [100,130) shoot-through.
+	if st.Scenario3Cycles != 30 || st.Scenario2Cycles != 60 || st.ShootThroughCycles != 30 {
+		t.Fatalf("split wrong: %+v", st)
+	}
+	if st.WaitingEntryCycles != 60 || st.HeadStallCycles != 90 {
+		t.Fatalf("integrals wrong: %+v", st)
+	}
+	if got := qs.Classify(39); got != obs.Scenario3 {
+		t.Fatalf("Classify(39) = %v", got)
+	}
+	if got := qs.Classify(40); got != obs.Scenario2 {
+		t.Fatalf("Classify(40) = %v", got)
+	}
+	if got := qs.Classify(100); got != obs.ScenarioShootThrough {
+		t.Fatalf("Classify(100) = %v", got)
+	}
+}

@@ -518,6 +518,7 @@ type Executor struct {
 	data *xrand.Rand
 
 	cur   BlockRef
+	blk   *Block // cache of prog.Block(cur), refreshed on every transfer
 	idx   int
 	stack []BlockRef // return sites
 	ptrs  []isa.Addr // per-static-instruction stride pointers
@@ -551,6 +552,7 @@ func (e *Executor) Reset() {
 	e.ctrl = root.Fork()
 	e.data = root.Fork()
 	e.cur = e.prog.EntryBlock()
+	e.blk = e.prog.Block(e.cur)
 	e.idx = 0
 	e.stack = e.stack[:0]
 	if cap(e.ptrs) < e.prog.totalInstrs {
@@ -579,7 +581,7 @@ func (e *Executor) Next() (isa.Instr, error) {
 		if e.done {
 			return isa.Instr{}, trace.ErrEnd
 		}
-		b := e.prog.Block(e.cur)
+		b := e.blk
 		if e.idx < len(b.Body) {
 			in := e.emitBody(b)
 			e.idx++
@@ -595,9 +597,54 @@ func (e *Executor) Next() (isa.Instr, error) {
 	}
 }
 
+// NextBlock implements trace.BlockSource: one branch-terminated (or
+// max-capped) run of contiguous instructions per call, byte-identical to
+// the stream Next yields. The executor's stream can only end at a return
+// branch, so the run never carries a dangling ErrEnd tail.
+func (e *Executor) NextBlock(buf []isa.Instr, max int) ([]isa.Instr, error) {
+	// Instructions are emitted straight into their final slots; reserving
+	// capacity up front keeps the hot loop free of append bookkeeping.
+	if cap(buf) < max {
+		nb := make([]isa.Instr, len(buf), max)
+		copy(nb, buf)
+		buf = nb
+	}
+	for len(buf) < max {
+		if e.done {
+			if len(buf) == 0 {
+				return buf, trace.ErrEnd
+			}
+			return buf, nil
+		}
+		b := e.blk
+		for e.idx < len(b.Body) && len(buf) < max {
+			buf = buf[:len(buf)+1]
+			e.emitBodyInto(b, &buf[len(buf)-1])
+			e.idx++
+		}
+		if len(buf) == max {
+			return buf, nil // capped before the terminator
+		}
+		if b.Term.Kind == TermNone {
+			e.advanceFallthrough()
+			continue
+		}
+		buf = buf[:len(buf)+1]
+		e.emitTerminatorInto(b, &buf[len(buf)-1])
+		return buf, nil
+	}
+	return buf, nil
+}
+
 func (e *Executor) emitBody(b *Block) isa.Instr {
+	var in isa.Instr
+	e.emitBodyInto(b, &in)
+	return in
+}
+
+func (e *Executor) emitBodyInto(b *Block, in *isa.Instr) {
 	si := &b.Body[e.idx]
-	in := isa.Instr{PC: b.InstrPC(e.idx), Class: si.Class}
+	*in = isa.Instr{PC: b.InstrPC(e.idx), Class: si.Class}
 	switch {
 	case si.Class.IsMem():
 		in.DataAddr = e.dataAddr(b.globalIndex+e.idx, si)
@@ -609,7 +656,6 @@ func (e *Executor) emitBody(b *Block) isa.Instr {
 		}
 		in.Target = tb.InstrPC(off)
 	}
-	return in
 }
 
 func (e *Executor) dataAddr(global int, si *StaticInstr) isa.Addr {
@@ -640,9 +686,15 @@ func (e *Executor) dataAddr(global int, si *StaticInstr) isa.Addr {
 }
 
 func (e *Executor) emitTerminator(b *Block) isa.Instr {
+	var in isa.Instr
+	e.emitTerminatorInto(b, &in)
+	return in
+}
+
+func (e *Executor) emitTerminatorInto(b *Block, in *isa.Instr) {
 	pc := b.InstrPC(len(b.Body))
 	termIdx := b.globalIndex + len(b.Body)
-	in := isa.Instr{PC: pc, Class: b.Term.class()}
+	*in = isa.Instr{PC: pc, Class: b.Term.class()}
 	switch b.Term.Kind {
 	case TermCond:
 		var taken bool
@@ -677,7 +729,7 @@ func (e *Executor) emitTerminator(b *Block) isa.Instr {
 		if len(e.stack) == 0 {
 			e.done = true
 			in.Target = e.prog.Block(e.prog.EntryBlock()).Addr
-			return in
+			return
 		}
 		ret := e.stack[len(e.stack)-1]
 		e.stack = e.stack[:len(e.stack)-1]
@@ -696,7 +748,6 @@ func (e *Executor) emitTerminator(b *Block) isa.Instr {
 		in.Target = e.prog.Funcs[callee].Blocks[0].Addr
 		e.call(callee)
 	}
-	return in
 }
 
 // indirectChoice picks an indirect target index, repeating the previous
@@ -721,6 +772,7 @@ func (e *Executor) call(callee FuncID) {
 
 func (e *Executor) goTo(ref BlockRef) {
 	e.cur = ref
+	e.blk = e.prog.Block(ref)
 	e.idx = 0
 }
 

@@ -29,6 +29,46 @@ type Resetter interface {
 	Reset()
 }
 
+// BlockSource is an optional Source refinement for streams that can yield
+// a whole fetch block per call, saving the consumer one interface call and
+// one instruction copy per instruction on the simulator's hottest path.
+//
+// NextBlock appends the next run of instructions to buf and returns the
+// extended slice. The stream must be identical to repeated Next calls, and
+// the run must end exactly where an incremental consumer peeking
+// instruction-by-instruction would end it:
+//
+//   - after a branch-class instruction (inclusive), or
+//   - when len grows by max instructions, or
+//   - at stream end — reported as ErrEnd together with any non-branch
+//     tail, exactly when the incremental consumer's lookahead past a
+//     non-branch instruction would have hit the end. A run ending in a
+//     branch reports nil; the ErrEnd surfaces on the next call.
+//
+// Instructions within a returned run are address-contiguous. Sources with
+// possible discontinuities (serialized traces, arbitrary slices) must not
+// implement BlockSource; consumers fall back to Next and their own
+// boundary checks.
+type BlockSource interface {
+	Source
+	NextBlock(buf []isa.Instr, max int) ([]isa.Instr, error)
+}
+
+// AsBlockSource reports whether src can yield whole fetch blocks,
+// unwrapping Limit (whose block support depends on what it wraps).
+func AsBlockSource(src Source) (BlockSource, bool) {
+	switch s := src.(type) {
+	case *Limit:
+		if _, ok := AsBlockSource(s.src); ok {
+			return s, true
+		}
+		return nil, false
+	case BlockSource:
+		return s, true
+	}
+	return nil, false
+}
+
 // Slice is an in-memory Source over a fixed instruction sequence.
 type Slice struct {
 	instrs []isa.Instr
@@ -76,6 +116,33 @@ func (l *Limit) Next() (isa.Instr, error) {
 	}
 	l.seen++
 	return in, nil
+}
+
+// NextBlock implements BlockSource by budget-chopping the wrapped stream.
+// Callers must gate on AsBlockSource: the method is only valid when the
+// wrapped source itself yields blocks.
+func (l *Limit) NextBlock(buf []isa.Instr, max int) ([]isa.Instr, error) {
+	if l.seen >= l.n {
+		return buf, ErrEnd
+	}
+	m := max
+	if rem := l.n - l.seen; int64(m) > rem {
+		m = int(rem)
+	}
+	out, err := l.src.(BlockSource).NextBlock(buf, m)
+	l.seen += int64(len(out) - len(buf))
+	if err != nil {
+		return out, err
+	}
+	// The budget ran out mid-block: an incremental consumer would have
+	// peeked past the final non-branch instruction and seen the end now.
+	// A branch-final or max-sized run ends naturally without the probe.
+	if l.seen >= l.n && len(out)-len(buf) < max {
+		if n := len(out); n == len(buf) || !out[n-1].Class.IsBranch() {
+			return out, ErrEnd
+		}
+	}
+	return out, nil
 }
 
 // Reset implements Resetter when the underlying source does.
