@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeDebugClosesOnCancel pins the -http endpoint's lifecycle: it
+// serves /metrics while live, and cancelling its context closes the
+// listener and returns nil (a drained shutdown, not an error).
+func TestServeDebugClosesOnCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveDebug(ctx, ln, nil) }()
+
+	res, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("live /metrics: %v", err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d: %s", res.StatusCode, body)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serveDebug after cancel = %v, want nil", err)
+	}
+	// The listener must actually be closed: its port is free to rebind
+	// and new connections are refused.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after cancel")
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after cancel: %v", err)
+	}
+	ln2.Close()
+}

@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	_ "expvar" // expvar JSON on /debug/vars when -http is set
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // profiling on /debug/pprof when -http is set
 	"os"
@@ -28,6 +30,7 @@ import (
 	"frontsim/internal/experiment"
 	"frontsim/internal/obs"
 	"frontsim/internal/runner"
+	"frontsim/internal/serve"
 	"frontsim/internal/stats"
 	"frontsim/internal/workload"
 )
@@ -92,14 +95,31 @@ func main() {
 		p.Obs = col
 		p.ObsRun = fileObsFactory(*obsDir, *obsStrd)
 	}
+	httpCtx, httpCancel := context.WithCancel(context.Background())
+	defer httpCancel()
+	var httpErr chan error
 	if *httpAddr != "" {
-		serveHTTP(*httpAddr, col)
+		ln, lerr := net.Listen("tcp", *httpAddr)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: http:", lerr)
+			os.Exit(1)
+		}
+		httpErr = make(chan error, 1)
+		go func() { httpErr <- serveDebug(httpCtx, ln, col) }()
 	}
 
 	err := run(*figure, *table, *ablation, *ext, *n, p, *csvDir, *quiet)
 	if col != nil {
 		if eerr := writeObsExports(*obsDir, col); eerr != nil && err == nil {
 			err = eerr
+		}
+	}
+	// Drain the debug listener through the shared shutdown path so a
+	// scrape in flight at exit still completes.
+	httpCancel()
+	if httpErr != nil {
+		if herr := <-httpErr; herr != nil && err == nil {
+			err = herr
 		}
 	}
 	if err != nil {
@@ -147,10 +167,14 @@ func writeObsExports(dir string, col *obs.SuiteCollector) error {
 	return pf.Close()
 }
 
-// serveHTTP exposes live metrics plus the stdlib pprof and expvar debug
-// pages in the background for long suite runs.
-func serveHTTP(addr string, col *obs.SuiteCollector) {
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+// serveDebug exposes live metrics plus the stdlib pprof and expvar debug
+// pages (registered on http.DefaultServeMux by their imports) on ln for
+// long suite runs, with real header/write timeouts, until ctx is
+// cancelled — then it drains through the same shutdown path cmd/simd
+// uses (serve.ListenAndServe) and returns nil.
+func serveDebug(ctx context.Context, ln net.Listener, col *obs.SuiteCollector) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		var ms obs.MetricSet
 		if col != nil {
@@ -160,11 +184,8 @@ func serveHTTP(addr string, col *obs.SuiteCollector) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments: http:", err)
-		}
-	}()
+	mux.Handle("/debug/", http.DefaultServeMux)
+	return serve.ListenAndServe(ctx, serve.NewHTTPServer(ln.Addr().String(), mux), ln, 5*time.Second)
 }
 
 func run(figure, table int, ablation, ext string, n int, p experiment.Params, csvDir string, quiet bool) error {
@@ -190,10 +211,16 @@ func run(figure, table int, ablation, ext string, n int, p experiment.Params, cs
 	}
 
 	// Ablations and extensions use a representative sub-suite to keep
-	// runtimes sane.
+	// runtimes sane; with a truncated -n only the indices that exist are
+	// taken (indexing past len(specs) used to panic for 6 < n < 21).
 	sub := specs
 	if len(sub) > 6 {
-		sub = []workload.Spec{specs[0], specs[1], specs[4], specs[8], specs[16], specs[20]}
+		sub = nil
+		for _, i := range []int{0, 1, 4, 8, 16, 20} {
+			if i < len(specs) {
+				sub = append(sub, specs[i])
+			}
+		}
 	}
 
 	if ext != "" {

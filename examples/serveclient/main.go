@@ -1,0 +1,160 @@
+// Serveclient: drive a running simd service through serve.Client — the
+// retrying client with jittered exponential backoff — firing a burst of
+// concurrent duplicate and distinct cell requests, then verifying the
+// service's guarantees from the outside:
+//
+//   - every response for the same fingerprint is byte-identical;
+//   - the coalescing counter proves duplicates shared executions
+//     (executed cells < requests);
+//   - with -verify-cache, each response byte-matches the run-cache entry
+//     at its fingerprint address (e.g. a cache cmd/experiments wrote).
+//
+// This is also the smoke driver behind `make serve-smoke`. Exit status 0
+// means every check passed.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"time"
+
+	"frontsim/internal/serve"
+	"frontsim/internal/workload"
+)
+
+func main() {
+	var (
+		base     = flag.String("addr", "http://127.0.0.1:8091", "simd base URL")
+		dup      = flag.Int("dup", 24, "concurrent duplicate requests for one cell")
+		distinct = flag.Int("distinct", 8, "concurrent distinct cells (consecutive workloads)")
+		series   = flag.String("series", "fdp24", "series for every cell")
+		warmup   = flag.Int64("warmup", 0, "warmup instructions override (0 = server default)")
+		instrs   = flag.Int64("instrs", 0, "measured instructions override (0 = server default)")
+		profileI = flag.Int64("profile", 0, "profiling instructions override (0 = server default)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+		verify   = flag.String("verify-cache", "", "byte-compare responses against the run cache rooted here")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	client := &serve.Client{BaseURL: *base, MaxAttempts: 10, BaseBackoff: 50 * time.Millisecond}
+
+	names := workload.Names()
+	if *distinct+1 > len(names) {
+		log.Fatalf("-distinct %d exceeds the %d-workload suite", *distinct, len(names)-1)
+	}
+	req := func(wl string) serve.CellRequest {
+		return serve.CellRequest{
+			Workload: wl, Series: *series,
+			WarmupInstrs: *warmup, MeasureInstrs: *instrs, ProfileInstrs: *profileI,
+		}
+	}
+
+	// One burst: dup requests for workload 0 plus one request for each of
+	// the next distinct workloads, all in flight together.
+	total := *dup + *distinct
+	resps := make([]serve.CellResponse, total)
+	errs := make([]error, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wl := names[0]
+		if i >= *dup {
+			wl = names[i-*dup+1]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resps[i], errs[i] = client.Cell(ctx, req(wl))
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			log.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	// Duplicates must agree byte-for-byte.
+	for i := 1; i < *dup; i++ {
+		if resps[i].Fingerprint != resps[0].Fingerprint {
+			log.Fatalf("duplicate %d fingerprint %s != %s", i, resps[i].Fingerprint, resps[0].Fingerprint)
+		}
+		if !bytes.Equal(resps[i].Stats, resps[0].Stats) {
+			log.Fatalf("duplicate %d returned different bytes for fingerprint %s", i, resps[0].Fingerprint)
+		}
+	}
+
+	// Coalescing proof from the service's own counters: the duplicates
+	// cost at most one execution, so executed < total requests.
+	metrics, err := client.Metrics(ctx)
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	executed := metricValue(metrics, `simd_cells_total\{source="executed"\} (\d+)`)
+	coalesced := metricValue(metrics, `simd_cells_total\{source="coalesced"\} (\d+)`)
+	cached := metricValue(metrics, `simd_cells_total\{source="cache"\} (\d+)`)
+	if executed >= int64(total) {
+		log.Fatalf("no coalescing: %d executions for %d requests", executed, total)
+	}
+
+	if *verify != "" {
+		for _, resp := range resps {
+			if err := verifyAgainstCache(*verify, resp); err != nil {
+				log.Fatalf("cache verification: %v", err)
+			}
+		}
+		fmt.Printf("all %d responses verified against run cache %s\n", total, *verify)
+	}
+
+	fmt.Printf("%d requests ok (%d duplicates, %d distinct): executed %d, coalesced %d, cache hits %d\n",
+		total, *dup, *distinct, executed, coalesced, cached)
+}
+
+// metricValue extracts a counter from Prometheus text; missing → 0.
+func metricValue(text, pattern string) int64 {
+	m := regexp.MustCompile(pattern).FindStringSubmatch(text)
+	if m == nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// verifyAgainstCache asserts resp's stats bytes equal the run-cache entry
+// at its fingerprint address — the byte-identity contract between served
+// cells and cmd/experiments output sharing a fingerprint.
+func verifyAgainstCache(dir string, resp serve.CellResponse) error {
+	fp := resp.Fingerprint
+	raw, err := os.ReadFile(filepath.Join(dir, fp[:2], fp+".json"))
+	if err != nil {
+		return fmt.Errorf("cell %s/%s: %w", resp.Workload, resp.Series, err)
+	}
+	var env struct {
+		Value json.RawMessage `json:"value"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("cell %s: parsing cache entry: %w", fp, err)
+	}
+	var want bytes.Buffer
+	if err := json.Compact(&want, env.Value); err != nil {
+		return err
+	}
+	if !bytes.Equal(resp.Stats, want.Bytes()) {
+		return fmt.Errorf("cell %s: served bytes differ from cache entry:\nserved: %s\ncache:  %s",
+			fp, resp.Stats, want.Bytes())
+	}
+	return nil
+}

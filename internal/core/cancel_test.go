@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"frontsim/internal/xrand"
+)
+
+// countdownCtx is a deterministic context.Context: it reports itself
+// cancelled after Err has been consulted n times. Using it instead of a
+// timer-cancelled context makes the cancellation point a pure function of
+// the simulation's own poll sequence, so every seed reproduces exactly.
+type countdownCtx struct {
+	mu      sync.Mutex
+	redeems int
+	fire    int
+	done    chan struct{}
+}
+
+func newCountdownCtx(fire int) *countdownCtx {
+	return &countdownCtx{fire: fire, done: make(chan struct{})}
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return c.done }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.redeems++
+	if c.redeems >= c.fire {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+		return context.Canceled
+	}
+	return nil
+}
+
+// checkNotTorn asserts the partial snapshot satisfies the same accounting
+// identities a completed run's statistics do — the scenario partition of
+// the FTQ's ticked cycles, non-negative counters, and retirement
+// consistency. A cancellation landing mid-cycle would break these.
+func checkNotTorn(t *testing.T, s *Sim) {
+	t.Helper()
+	st := s.Snapshot()
+	f := st.FTQ
+	if got := f.ShootThroughCycles + f.Scenario2Cycles + f.Scenario3Cycles + f.EmptyCycles; got != f.Cycles {
+		t.Fatalf("scenario partition torn: shoot %d + s2 %d + s3 %d + empty %d = %d, want %d ticked cycles",
+			f.ShootThroughCycles, f.Scenario2Cycles, f.Scenario3Cycles, f.EmptyCycles, got, f.Cycles)
+	}
+	if f.HeadStallCycles != f.Scenario2Cycles+f.Scenario3Cycles {
+		t.Fatalf("head-stall identity torn: %d != %d + %d", f.HeadStallCycles, f.Scenario2Cycles, f.Scenario3Cycles)
+	}
+	if st.Instructions < 0 || st.Cycles < 0 || st.SwPrefetchInstrs < 0 {
+		t.Fatalf("negative counters in partial snapshot: %+v", st)
+	}
+	// The per-cycle audit's full invariant set must hold at the boundary
+	// the run stopped on (the last completed cycle).
+	if now := s.Now(); now > 0 {
+		if err := s.Frontend().CheckInvariants(now - 1); err != nil {
+			t.Fatalf("audit invariants violated after cancellation at cycle %d: %v", now, err)
+		}
+	}
+}
+
+// TestRunCtxCancelledStatsNotTorn cancels fast-forwarded runs at
+// pseudo-randomized poll counts and asserts the partial statistics are
+// never torn. Config.Audit is on, so every simulated cycle — including
+// jump boundaries — also ran the full per-cycle invariant audit up to the
+// cancellation point; under `-tags audit` the same holds for every other
+// test in this package.
+func TestRunCtxCancelledStatsNotTorn(t *testing.T) {
+	rng := xrand.New(0xcafe_f00d)
+	for i := 0; i < 8; i++ {
+		fire := 1 + rng.Intn(400)
+		for _, conservative := range []bool{false, true} {
+			cfg := smallConfig("cancel", conservative)
+			cfg.FastForward = true
+			cfg.Audit = true
+			sim, err := New(cfg, source(t, "secret_srv12"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := newCountdownCtx(fire)
+			st, err := sim.RunCtx(ctx)
+			if err == nil {
+				// The run finished before the countdown; still a valid case.
+				if st.Cycles == 0 {
+					t.Fatal("completed run returned empty stats")
+				}
+				continue
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("RunCtx = %v, want context.Canceled", err)
+			}
+			if st != (Stats{}) {
+				t.Fatalf("cancelled RunCtx returned non-zero Stats: %+v", st)
+			}
+			checkNotTorn(t, sim)
+		}
+	}
+}
+
+// TestRunCtxCancelledStepModeNotTorn covers the non-fast-forward polling
+// path (strided checks in the plain Step loop).
+func TestRunCtxCancelledStepModeNotTorn(t *testing.T) {
+	cfg := smallConfig("cancel-step", false)
+	cfg.FastForward = false
+	cfg.Audit = true
+	sim, err := New(cfg, source(t, "secret_srv12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.RunCtx(newCountdownCtx(2))
+	if err == nil {
+		t.Skip("run completed before the second poll; nothing to assert")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if st != (Stats{}) {
+		t.Fatalf("cancelled RunCtx returned non-zero Stats: %+v", st)
+	}
+	checkNotTorn(t, sim)
+}
+
+// TestRunCtxObservational pins that polling a live (never-cancelled)
+// context does not perturb results: RunCtx with a cancellable context and
+// plain Run produce byte-identical statistics.
+func TestRunCtxObservational(t *testing.T) {
+	cfg := smallConfig("cancel-obs", false)
+	cfg.FastForward = true
+
+	plain, err := New(cfg, source(t, "secret_srv12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pst, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	polled, err := New(cfg, source(t, "secret_srv12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cst, err := polled.RunCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pj, err := pst.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, err := cst.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pj, cj) {
+		t.Fatalf("ctx polling perturbed results:\nplain:  %s\npolled: %s", pj, cj)
+	}
+}
+
+// TestRunCtxPreCancelledStopsImmediately pins the fast exit: a context
+// cancelled before the run starts must abort before simulating anything.
+func TestRunCtxPreCancelledStopsImmediately(t *testing.T) {
+	cfg := smallConfig("cancel-pre", false)
+	cfg.FastForward = true
+	sim, err := New(cfg, source(t, "secret_srv12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.RunCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if sim.Now() != 0 {
+		t.Fatalf("pre-cancelled run advanced to cycle %d", sim.Now())
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -303,9 +304,43 @@ func (s *Sim) sample() {
 // Run simulates until MaxInstrs program instructions retire after warmup,
 // or the source drains. It returns the measured statistics.
 func (s *Sim) Run() (Stats, error) {
+	return s.RunCtx(context.Background())
+}
+
+// cancelCheckInterval bounds how stale a cancellation can go unnoticed in
+// cycle-stepping mode: ctx.Err takes a lock, so polling it every cycle
+// would tax the hot loop; polling every few thousand cycles keeps the
+// overhead unmeasurable while an abandoned run still stops within
+// microseconds of wall time.
+const cancelCheckInterval = 4096
+
+// RunCtx is Run with cooperative cancellation. The context is polled only
+// at cycle boundaries — every fast-forward jump, or every
+// cancelCheckInterval plain steps — so a cancelled run always stops
+// between fully-simulated cycles: every invariant the per-cycle audit
+// checks still holds, and the partial counters (Snapshot) are internally
+// consistent, never torn mid-cycle. On cancellation it returns zero Stats
+// and an error wrapping ctx.Err(); the caller must not cache or publish
+// results from a cancelled run.
+//
+// Cancellation never perturbs a run that completes: the poll is pure
+// observation, so a run that finishes before its context dies is
+// byte-identical to an uncancelled one (TestRunCtxObservational).
+func (s *Sim) RunCtx(ctx context.Context) (Stats, error) {
 	const idleLimit = 1_000_000 // cycles without retirement => wedged
 	idle := cache.Cycle(0)
+	cancellable := ctx.Done() != nil
+	sinceCheck := 0
 	for !s.Done() {
+		if cancellable {
+			sinceCheck++
+			if s.cfg.FastForward || sinceCheck >= cancelCheckInterval {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return Stats{}, fmt.Errorf("core: run cancelled at cycle %d: %w", s.now, err)
+				}
+			}
+		}
 		retired := 0
 		if s.cfg.FastForward {
 			// Skipped spans retire nothing by construction, so they count
@@ -370,11 +405,24 @@ func (s *Sim) snapshot() Stats {
 	}
 }
 
+// Snapshot returns the statistics accumulated so far in the current
+// measurement phase. Unlike Run's return value it is valid mid-run — in
+// particular after a cancelled RunCtx — and, because RunCtx only stops at
+// cycle boundaries, a post-cancellation snapshot satisfies the same
+// invariants a completed run's does (the FTQ scenario partition sums to
+// the cycle count, occupancy bounds hold, and so on).
+func (s *Sim) Snapshot() Stats { return s.snapshot() }
+
 // RunSource is a convenience: build a Sim over src and run it.
 func RunSource(cfg Config, src trace.Source) (Stats, error) {
+	return RunSourceCtx(context.Background(), cfg, src)
+}
+
+// RunSourceCtx is RunSource with cooperative cancellation (see RunCtx).
+func RunSourceCtx(ctx context.Context, cfg Config, src trace.Source) (Stats, error) {
 	s, err := New(cfg, src)
 	if err != nil {
 		return Stats{}, err
 	}
-	return s.Run()
+	return s.RunCtx(ctx)
 }

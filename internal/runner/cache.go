@@ -95,8 +95,20 @@ func (c *Cache) Get(key, out any) (bool, error) {
 	return true, nil
 }
 
-// Put stores value under key, atomically (write-temp-then-rename), so
-// concurrent runs sharing a cache directory never observe torn entries.
+// Test seams for fault injection: the durability tests swap these to
+// simulate full-disk writes and fsync failures without a faulty device.
+var (
+	writeTemp = func(f *os.File, b []byte) (int, error) { return f.Write(b) }
+	syncFile  = func(f *os.File) error { return f.Sync() }
+)
+
+// Put stores value under key, atomically and durably: the blob is written
+// to a same-directory temp file, fsynced, renamed over the destination,
+// and the parent directory is fsynced so the entry survives a crash right
+// after Put returns. Concurrent runs sharing a cache directory never
+// observe torn entries, and every failure path removes the temp file so a
+// crashed or full-disk run leaves no .tmp-* litter for later scans to
+// trip over.
 func (c *Cache) Put(key, value any) error {
 	if c == nil {
 		return nil
@@ -115,28 +127,57 @@ func (c *Cache) Put(key, value any) error {
 	}
 	sum := sha256.Sum256(keyJSON)
 	dst := c.path(hex.EncodeToString(sum[:]))
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("runner: cache put: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("runner: cache put: %w", err)
 	}
-	if _, err := tmp.Write(blob); err != nil {
+	// From here on, any failure must both close and remove the temp file.
+	fail := func(op string, err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: cache put: %w", err)
+		return fmt.Errorf("runner: cache put %s: %w", op, err)
+	}
+	if _, err := writeTemp(tmp, blob); err != nil {
+		return fail("write", err)
+	}
+	// fsync before rename: otherwise a crash can leave the rename durable
+	// but the contents not, i.e. a persistent torn entry at the final path.
+	if err := syncFile(tmp); err != nil {
+		return fail("fsync", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: cache put: %w", err)
+		return fmt.Errorf("runner: cache put close: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), dst); err != nil {
 		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache put rename: %w", err)
+	}
+	// fsync the parent directory so the rename itself is durable. Failure
+	// here is reported, but the entry is already valid and atomic, so the
+	// destination is left in place.
+	if err := syncDir(dir); err != nil {
 		return fmt.Errorf("runner: cache put: %w", err)
 	}
 	c.puts.Add(1)
 	return nil
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := syncFile(d); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // Metrics reports lookup and store counts since open.

@@ -1,0 +1,341 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- Pool post-Close semantics -----------------------------------------
+
+func TestSubmitAfterCloseReturnsSentinel(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	g := p.NewGroup()
+	ran := false
+	g.Go(func() error { ran = true; return nil })
+	if err := g.Wait(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Wait after post-Close submit = %v, want ErrPoolClosed", err)
+	}
+	if ran {
+		t.Fatal("task submitted after Close must not run")
+	}
+}
+
+func TestDoubleCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	g := p.NewGroup()
+	g.Go(func() error { return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // must not panic or hang
+
+	// Concurrent double close as well.
+	p2 := NewPool(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); p2.Close() }()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentSubmitClose races Go against Close: every accepted task
+// must run exactly once, every refused task must surface ErrPoolClosed,
+// and nothing may panic or be silently dropped. Run under -race.
+func TestConcurrentSubmitClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		p := NewPool(4)
+		var executed atomic.Int64
+		var refused atomic.Int64
+		var wg sync.WaitGroup
+		const submitters = 8
+		for i := 0; i < submitters; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				g := p.NewGroup()
+				g.Go(func() error { executed.Add(1); return nil })
+				if err := g.Wait(); err != nil {
+					if !errors.Is(err, ErrPoolClosed) {
+						t.Errorf("Wait = %v, want nil or ErrPoolClosed", err)
+					}
+					refused.Add(1)
+				}
+			}()
+		}
+		p.Close()
+		wg.Wait()
+		if got := executed.Load() + refused.Load(); got != submitters {
+			t.Fatalf("round %d: executed %d + refused %d != %d submissions",
+				round, executed.Load(), refused.Load(), submitters)
+		}
+	}
+}
+
+// --- WaitCtx ------------------------------------------------------------
+
+func TestWaitCtxBackgroundBehavesLikeWait(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	g := p.NewGroup()
+	var n atomic.Int64
+	for i := 0; i < 16; i++ {
+		g.Go(func() error { n.Add(1); return nil })
+	}
+	if err := g.WaitCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 16 {
+		t.Fatalf("ran %d of 16 tasks", n.Load())
+	}
+}
+
+func TestWaitCtxReturnsFirstTaskError(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	g := p.NewGroup()
+	boom := fmt.Errorf("boom")
+	g.Go(func() error { return boom })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := g.WaitCtx(ctx); !errors.Is(err, boom) {
+		t.Fatalf("WaitCtx = %v, want boom", err)
+	}
+}
+
+// TestWaitCtxAbortsQueuedTasks cancels a join while one task blocks the
+// only worker: the queued remainder must be aborted unstarted, WaitCtx
+// must return promptly once the running task finishes, and no aborted
+// task may run afterwards.
+func TestWaitCtxAbortsQueuedTasks(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	g := p.NewGroup()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var ran atomic.Int64
+	g.Go(func() error {
+		close(started)
+		<-release
+		ran.Add(1)
+		return nil
+	})
+	// Only queue the rest once the blocker occupies the lone worker;
+	// workers pop LIFO, so queueing earlier could run these first.
+	<-started
+	for i := 0; i < 32; i++ {
+		g.Go(func() error { ran.Add(1); return nil })
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() { done <- g.WaitCtx(ctx) }()
+
+	// The join must be blocked only on the in-flight task.
+	select {
+	case err := <-done:
+		t.Fatalf("WaitCtx returned %v while a task was still running", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("WaitCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitCtx did not return after the running task finished")
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d tasks ran, want only the in-flight one", got)
+	}
+
+	// The cancelled group refuses later submissions instead of leaking them.
+	g.Go(func() error { ran.Add(1); return nil })
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("post-cancel submission ran (total %d)", got)
+	}
+}
+
+// TestWaitCtxDoesNotStrandOtherGroups proves aborting one group leaves an
+// unrelated group's queued work intact.
+func TestWaitCtxDoesNotStrandOtherGroups(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+
+	gate := make(chan struct{})
+	occupied := make(chan struct{})
+	blocker := p.NewGroup()
+	blocker.Go(func() error { close(occupied); <-gate; return nil })
+	<-occupied
+
+	doomed := p.NewGroup()
+	var doomedRan atomic.Int64
+	for i := 0; i < 8; i++ {
+		doomed.Go(func() error { doomedRan.Add(1); return nil })
+	}
+	survivor := p.NewGroup()
+	var survivorRan atomic.Int64
+	for i := 0; i < 8; i++ {
+		survivor.Go(func() error { survivorRan.Add(1); return nil })
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := doomed.WaitCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WaitCtx = %v", err)
+	}
+	close(gate)
+	if err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := survivor.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if survivorRan.Load() != 8 {
+		t.Fatalf("survivor ran %d of 8", survivorRan.Load())
+	}
+	if doomedRan.Load() != 0 {
+		t.Fatalf("doomed group ran %d tasks after abort", doomedRan.Load())
+	}
+}
+
+// --- Cache Put durability ----------------------------------------------
+
+// listTemps returns every .tmp-* file under the cache root.
+func listTemps(t *testing.T, dir string) []string {
+	t.Helper()
+	var temps []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			temps = append(temps, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return temps
+}
+
+type durKey struct {
+	Name string `json:"name"`
+}
+
+// TestPutWriteErrorLeavesNoLitter injects a write failure (a full disk in
+// miniature) and asserts Put reports it, removes the temp file, and leaves
+// no half-written entry behind.
+func TestPutWriteErrorLeavesNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := fmt.Errorf("disk full")
+	prev := writeTemp
+	writeTemp = func(f *os.File, b []byte) (int, error) { return 0, injected }
+	defer func() { writeTemp = prev }()
+
+	key := durKey{Name: "write-error"}
+	if err := c.Put(key, 42); !errors.Is(err, injected) {
+		t.Fatalf("Put = %v, want injected write error", err)
+	}
+	if temps := listTemps(t, dir); len(temps) != 0 {
+		t.Fatalf("stray temp files after failed Put: %v", temps)
+	}
+	writeTemp = prev
+	var out int
+	if ok, err := c.Get(key, &out); err != nil || ok {
+		t.Fatalf("Get after failed Put = (%v, %v), want clean miss", ok, err)
+	}
+	// The same key must be writable once the fault clears.
+	if err := c.Put(key, 42); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Get(key, &out); err != nil || !ok || out != 42 {
+		t.Fatalf("Get after recovery = (%v, %v, %d)", ok, err, out)
+	}
+}
+
+// TestPutFsyncErrorLeavesNoLitter injects an fsync failure and asserts the
+// temp file is removed and the entry absent.
+func TestPutFsyncErrorLeavesNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := fmt.Errorf("fsync: I/O error")
+	prev := syncFile
+	syncFile = func(f *os.File) error { return injected }
+	defer func() { syncFile = prev }()
+
+	key := durKey{Name: "fsync-error"}
+	if err := c.Put(key, 7); !errors.Is(err, injected) {
+		t.Fatalf("Put = %v, want injected fsync error", err)
+	}
+	if temps := listTemps(t, dir); len(temps) != 0 {
+		t.Fatalf("stray temp files after failed Put: %v", temps)
+	}
+	var out int
+	syncFile = prev
+	if ok, _ := c.Get(key, &out); ok {
+		t.Fatal("entry exists after failed fsync")
+	}
+}
+
+// TestPutRenameErrorLeavesNoLitter forces the final rename to fail (the
+// destination is occupied by a non-empty directory) and asserts the temp
+// file is removed.
+func TestPutRenameErrorLeavesNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := durKey{Name: "rename-error"}
+	hash, err := Fingerprint(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := c.path(hash)
+	if err := os.MkdirAll(filepath.Join(dst, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key, 1); err == nil {
+		t.Fatal("Put succeeded despite blocked rename")
+	}
+	if temps := listTemps(t, dir); len(temps) != 0 {
+		t.Fatalf("stray temp files after failed rename: %v", temps)
+	}
+}
+
+// TestPutSuccessLeavesNoTemps pins the happy path: a successful Put leaves
+// exactly the entry and nothing else.
+func TestPutSuccessLeavesNoTemps(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(durKey{Name: "ok"}, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if temps := listTemps(t, dir); len(temps) != 0 {
+		t.Fatalf("stray temp files after successful Put: %v", temps)
+	}
+}

@@ -12,10 +12,16 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
 )
+
+// ErrPoolClosed is returned (via Group.Wait) for tasks submitted after
+// Close: the submission is refused — neither executed nor silently
+// dropped — and the group's join surfaces the refusal.
+var ErrPoolClosed = errors.New("runner: pool closed")
 
 // task is one schedulable unit of work, always owned by a Group.
 type task struct {
@@ -59,8 +65,10 @@ func NewPool(workers int) *Pool {
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return len(p.deques) }
 
-// Close stops the workers once every queued task has drained. Groups must
-// not submit new tasks after Close.
+// Close stops the workers once every queued task has drained. Close is
+// idempotent: concurrent or repeated calls all block until the workers
+// have exited. Submissions racing with Close either run to completion or
+// are refused with ErrPoolClosed (see Group.Go); they are never dropped.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	p.closed = true
@@ -157,19 +165,38 @@ func (p *Pool) run(t *task) {
 
 // Group is a fork-join scope: spawn tasks with Go, join with Wait.
 type Group struct {
-	p      *Pool
-	active int   // tasks spawned and not yet finished; guarded by p.mu
-	err    error // first error; guarded by p.mu
+	p         *Pool
+	active    int   // tasks spawned and not yet finished; guarded by p.mu
+	err       error // first error; guarded by p.mu
+	cancelled bool  // WaitCtx observed its context die; guarded by p.mu
 }
 
 // NewGroup creates an empty group on the pool.
 func (p *Pool) NewGroup() *Group { return &Group{p: p} }
 
-// Go submits fn to the pool as part of the group.
+// Go submits fn to the pool as part of the group. Submitting to a closed
+// pool, or to a group whose WaitCtx has already been cancelled, refuses
+// the task: fn never runs and the group's join returns ErrPoolClosed
+// (respectively the context's error) instead of panicking or silently
+// dropping work.
 func (g *Group) Go(fn func() error) {
 	t := &task{fn: fn, g: g}
 	p := g.p
 	p.mu.Lock()
+	if p.closed || g.cancelled {
+		if g.err == nil {
+			if p.closed {
+				g.err = ErrPoolClosed
+			} else {
+				g.err = context.Canceled
+			}
+		}
+		// Waiters must still wake up: the refused submission may be the
+		// event a Wait with active==0 is blocked on.
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return
+	}
 	g.active++
 	i := p.next % len(p.deques)
 	p.next++
@@ -202,4 +229,75 @@ func (g *Group) Wait() error {
 	err := g.err
 	p.mu.Unlock()
 	return err
+}
+
+// WaitCtx is Wait with abandonment: when ctx ends first, the group's
+// still-queued tasks are aborted (unqueued, never started), further Go
+// calls on the group are refused, and WaitCtx blocks only for the tasks
+// already running — which are expected to observe the same ctx and bail
+// cooperatively — before returning the context's error. So a cancelled
+// join leaves no orphan task that could later write into shared state.
+func (g *Group) WaitCtx(ctx context.Context) error {
+	if ctx.Done() == nil {
+		return g.Wait()
+	}
+	p := g.p
+	// Wake the cond loop when ctx fires; cond.Wait cannot watch a channel.
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+
+	p.mu.Lock()
+	for g.active > 0 {
+		if ctx.Err() != nil && !g.cancelled {
+			g.cancelled = true
+			p.purgeLocked(g)
+			if g.err == nil {
+				g.err = ctx.Err()
+			}
+		}
+		// Once cancelled, stop helping: draining the group's queue has
+		// already happened via purge, so only in-flight tasks remain.
+		if !g.cancelled {
+			if t := p.takeLocked(-1, g); t != nil {
+				p.mu.Unlock()
+				p.run(t)
+				p.mu.Lock()
+				continue
+			}
+		}
+		if g.active == 0 {
+			break
+		}
+		p.cond.Wait()
+	}
+	err := g.err
+	p.mu.Unlock()
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// purgeLocked removes every queued (not yet running) task belonging to g,
+// settling the group's bookkeeping as if each had never been spawned.
+func (p *Pool) purgeLocked(g *Group) {
+	for di, d := range p.deques {
+		kept := d[:0]
+		for _, t := range d {
+			if t.g == g {
+				g.active--
+				p.queued--
+				continue
+			}
+			kept = append(kept, t)
+		}
+		p.deques[di] = kept
+	}
+	if g.active == 0 {
+		p.cond.Broadcast()
+	}
 }

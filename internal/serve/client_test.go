@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetriesUntilSuccess pins the retry loop: 429 and 503 are
+// retried (with backoff) until the server recovers, then the decoded
+// response comes back.
+func TestClientRetriesUntilSuccess(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		case 2:
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(CellResponse{Workload: "w", Fingerprint: "fp"})
+		}
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 5, BaseBackoff: time.Millisecond, Seed: 1}
+	resp, err := c.Cell(context.Background(), CellRequest{Workload: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fingerprint != "fp" {
+		t.Fatalf("fingerprint %q, want fp", resp.Fingerprint)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestClientExhaustsRetries pins that a persistently overloaded server
+// eventually surfaces the 429 as a StatusError.
+func TestClientExhaustsRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 3, BaseBackoff: time.Millisecond, Seed: 1}
+	_, err := c.Cell(context.Background(), CellRequest{Workload: "w"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want StatusError 429", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestClientTerminalStatus pins that non-retryable statuses fail fast.
+func TestClientTerminalStatus(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown workload"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 5, BaseBackoff: time.Millisecond, Seed: 1}
+	_, err := c.Cell(context.Background(), CellRequest{Workload: "nope"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("terminal status retried: %d calls", got)
+	}
+}
+
+// TestBackoffHonorsRetryAfter pins the schedule arithmetic directly: a
+// Retry-After hint overrides the exponential wait; without one the wait
+// is the jittered exponential, capped at MaxBackoff.
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	c := &Client{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second, Seed: 7}
+	hinted := &retryableError{err: errors.New("429"), retryAfter: 7 * time.Second}
+	if got := c.backoff(0, hinted); got != 7*time.Second {
+		t.Fatalf("backoff with Retry-After = %v, want 7s", got)
+	}
+	for i := 0; i < 10; i++ {
+		d := c.backoff(i, errors.New("transport"))
+		lo := 50 * time.Millisecond << uint(i)
+		hi := 2 * lo
+		if hi > time.Second || hi <= 0 {
+			hi = time.Second
+			lo = hi / 2
+		}
+		if d < lo || d > hi {
+			t.Fatalf("backoff(%d) = %v, want in [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+// TestParseRetryAfter covers the delay-seconds parser.
+func TestParseRetryAfter(t *testing.T) {
+	cases := map[string]time.Duration{
+		"":     0,
+		"0":    0,
+		"3":    3 * time.Second,
+		"-1":   0,
+		"soon": 0,
+	}
+	for in, want := range cases {
+		if got := parseRetryAfter(in); got != want {
+			t.Fatalf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestClientContextCancelled pins that a cancelled context stops the
+// retry loop immediately.
+func TestClientContextCancelled(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 5, BaseBackoff: time.Hour, Seed: 1}
+	_, err := c.Cell(ctx, CellRequest{Workload: "w"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer wraps handler in an *http.Server with the hygiene every
+// listener in this repo should have: a ReadHeaderTimeout (so an idle
+// half-open connection cannot pin a goroutine forever) and a
+// WriteTimeout generous enough for a cold simulation cell.
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// ListenAndServe serves srv on ln (which may be nil to listen on
+// srv.Addr) until ctx is cancelled, then shuts down gracefully: the
+// listener closes immediately, in-flight responses get shutdownTimeout
+// to finish, and stragglers are cut off. It returns nil after a clean
+// shutdown; real serve failures (port in use, ...) surface as-is. This
+// is the single drain path shared by cmd/simd and cmd/experiments —
+// service-level draining (Server.Drain) should happen before or
+// concurrently with the ctx cancellation that triggers it.
+func ListenAndServe(ctx context.Context, srv *http.Server, ln net.Listener, shutdownTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() {
+		if ln != nil {
+			errc <- srv.Serve(ln)
+			return
+		}
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		_ = srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

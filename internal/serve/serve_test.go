@@ -1,0 +1,535 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"frontsim/internal/core"
+	"frontsim/internal/experiment"
+	"frontsim/internal/runner"
+	"frontsim/internal/workload"
+)
+
+// testServer builds a Server whose execution seam is stubbed, so
+// admission, coalescing and drain behavior are exercised without running
+// simulations. The default stubs miss the cache and fail loudly on
+// execution; tests override what they need.
+func testServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s := New(opts)
+	t.Cleanup(s.Close)
+	s.probe = func(*preparedCell) (core.Stats, bool, error) { return core.Stats{}, false, nil }
+	s.runCell = func(context.Context, *preparedCell) (experiment.CellResult, error) {
+		t.Error("runCell called without a test stub")
+		return experiment.CellResult{}, errors.New("no stub")
+	}
+	return s
+}
+
+// waitFor polls cond (1ms stride) until it holds or ~5s elapse.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// blockingStub is a runCell stub that parks executions until released,
+// returning ctx.Err() if the flight is cancelled first.
+type blockingStub struct {
+	started atomic.Int64
+	release chan struct{}
+	result  experiment.CellResult
+}
+
+func newBlockingStub(result experiment.CellResult) *blockingStub {
+	return &blockingStub{release: make(chan struct{}), result: result}
+}
+
+func (b *blockingStub) run(ctx context.Context, _ *preparedCell) (experiment.CellResult, error) {
+	b.started.Add(1)
+	select {
+	case <-b.release:
+		return b.result, nil
+	case <-ctx.Done():
+		return experiment.CellResult{}, ctx.Err()
+	}
+}
+
+func stubResult(config string, instrs int64) experiment.CellResult {
+	return experiment.CellResult{Stats: core.Stats{Config: config, Instructions: instrs}}
+}
+
+// TestCoalescingSingleExecution pins the singleflight guarantee: N
+// concurrent requests for one cell fingerprint run one simulation, and
+// every subscriber receives the identical result.
+func TestCoalescingSingleExecution(t *testing.T) {
+	s := testServer(t, Options{MaxConcurrent: 4, MaxQueue: 16})
+	stub := newBlockingStub(stubResult("stub", 42))
+	s.runCell = stub.run
+	pc := &preparedCell{addr: "cell-A", series: "fdp24"}
+
+	const n = 8
+	var wg sync.WaitGroup
+	resps := make([]CellResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resps[i], errs[i] = s.cell(context.Background(), pc)
+		}()
+	}
+	// All n must be attached to the single flight before it completes.
+	waitFor(t, "one leader", func() bool { return stub.started.Load() == 1 })
+	waitFor(t, "subscribers", func() bool { return s.coalesced.Load() == n-1 })
+	close(stub.release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(resps[i].Stats, resps[0].Stats) {
+			t.Fatalf("request %d got different bytes than request 0", i)
+		}
+	}
+	if got := s.executions.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+	coal := 0
+	for _, r := range resps {
+		if r.Coalesced {
+			coal++
+		}
+	}
+	if coal != n-1 {
+		t.Fatalf("%d responses marked coalesced, want %d", coal, n-1)
+	}
+}
+
+// postCell fires a /v1/cell request and returns status, Retry-After, body.
+func postCell(t *testing.T, url string, req CellRequest) (int, string, []byte) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(url+"/v1/cell", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, res.Header.Get("Retry-After"), body
+}
+
+// TestBackpressureQueueFull pins bounded admission: with one execution
+// slot and a one-deep wait queue, a third distinct cell is shed with
+// 429 + Retry-After instead of queueing, and the admitted two complete.
+func TestBackpressureQueueFull(t *testing.T) {
+	s := testServer(t, Options{MaxConcurrent: 1, MaxQueue: 1, RetryAfter: 2 * time.Second})
+	stub := newBlockingStub(stubResult("stub", 7))
+	s.runCell = stub.run
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	names := workload.Names()
+	type reply struct {
+		status int
+		body   []byte
+	}
+	replies := make(chan reply, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			st, _, body := postCell(t, ts.URL, CellRequest{Workload: names[i]})
+			replies <- reply{st, body}
+		}()
+	}
+	waitFor(t, "slot occupied", func() bool { return stub.started.Load() == 1 })
+	waitFor(t, "one queued", func() bool { return s.waiting.Load() == 1 })
+
+	status, retryAfter, _ := postCell(t, ts.URL, CellRequest{Workload: names[2]})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("third cell got %d, want 429", status)
+	}
+	if retryAfter != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", retryAfter)
+	}
+	if got := s.rejectedFull.Load(); got != 1 {
+		t.Fatalf("rejectedFull = %d, want 1", got)
+	}
+
+	close(stub.release)
+	for i := 0; i < 2; i++ {
+		r := <-replies
+		if r.status != http.StatusOK {
+			t.Fatalf("admitted cell got %d: %s", r.status, r.body)
+		}
+	}
+	if got := s.executions.Load(); got != 2 {
+		t.Fatalf("executions = %d, want 2", got)
+	}
+}
+
+// TestQueuedDeadline pins that a request's deadline keeps ticking while
+// it waits for a slot: a queued cell whose timeout_ms expires gets 504.
+func TestQueuedDeadline(t *testing.T) {
+	s := testServer(t, Options{MaxConcurrent: 1, MaxQueue: 4})
+	stub := newBlockingStub(stubResult("stub", 7))
+	s.runCell = stub.run
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	names := workload.Names()
+	done := make(chan int, 1)
+	go func() {
+		st, _, _ := postCell(t, ts.URL, CellRequest{Workload: names[0]})
+		done <- st
+	}()
+	waitFor(t, "slot occupied", func() bool { return stub.started.Load() == 1 })
+
+	status, _, body := postCell(t, ts.URL, CellRequest{Workload: names[1], TimeoutMs: 50})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("queued cell got %d (%s), want 504", status, body)
+	}
+	close(stub.release)
+	if st := <-done; st != http.StatusOK {
+		t.Fatalf("blocking cell got %d, want 200", st)
+	}
+}
+
+// TestLastSubscriberCancelsExecution pins end-to-end cancellation: when
+// every subscriber of a flight abandons it, the execution context is
+// cancelled and the in-progress simulation stops.
+func TestLastSubscriberCancelsExecution(t *testing.T) {
+	s := testServer(t, Options{MaxConcurrent: 2, MaxQueue: 4})
+	stub := newBlockingStub(stubResult("stub", 7))
+	s.runCell = stub.run
+	pc := &preparedCell{addr: "cell-B", series: "fdp24"}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.cell(ctx, pc)
+		errc <- err
+	}()
+	waitFor(t, "execution start", func() bool { return stub.started.Load() == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cell = %v, want context.Canceled", err)
+	}
+	// The flight must unwind (ctx branch of the stub) without a release.
+	waitFor(t, "flight removal", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.flight) == 0
+	})
+	if got := s.cancelledReq.Load(); got != 1 {
+		t.Fatalf("cancelledReq = %d, want 1", got)
+	}
+}
+
+// TestDrain pins graceful shutdown: draining rejects new work with
+// 503 + Retry-After, flips /healthz, and a drain deadline cancels
+// whatever is still executing.
+func TestDrain(t *testing.T) {
+	s := testServer(t, Options{MaxConcurrent: 2, MaxQueue: 4, RetryAfter: time.Second})
+	stub := newBlockingStub(stubResult("stub", 7))
+	s.runCell = stub.run
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	names := workload.Names()
+	finished := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			st, _, _ := postCell(t, ts.URL, CellRequest{Workload: names[i]})
+			finished <- st
+		}()
+	}
+	waitFor(t, "both executing", func() bool { return stub.started.Load() == 2 })
+
+	dctx, dcancel := context.WithCancel(context.Background())
+	dcancel() // expired deadline: Drain must cancel the in-flight cells
+	if err := s.Drain(dctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain = %v, want context.Canceled", err)
+	}
+	for i := 0; i < 2; i++ {
+		if st := <-finished; st == http.StatusOK {
+			t.Fatal("cancelled cell reported 200")
+		}
+	}
+
+	status, retryAfter, _ := postCell(t, ts.URL, CellRequest{Workload: names[0]})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain cell got %d, want 503", status)
+	}
+	if retryAfter == "" {
+		t.Fatal("post-drain 503 lacks Retry-After")
+	}
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", hres.StatusCode)
+	}
+}
+
+// TestDrainClean pins the happy path: with nothing in flight, Drain
+// returns nil immediately.
+func TestDrainClean(t *testing.T) {
+	s := testServer(t, Options{})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+}
+
+// TestCacheHitBypassesAdmission pins the warm fast path: a cached cell is
+// answered even when every execution slot is taken, without executing.
+func TestCacheHitBypassesAdmission(t *testing.T) {
+	s := testServer(t, Options{MaxConcurrent: 1, MaxQueue: 1})
+	warm := core.Stats{Config: "warm", Instructions: 99}
+	s.probe = func(*preparedCell) (core.Stats, bool, error) { return warm, true, nil }
+	s.slots <- struct{}{} // all slots taken
+
+	resp, err := s.cell(context.Background(), &preparedCell{addr: "cell-C", series: "fdp24"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("warm cell not marked cached")
+	}
+	want, err := warm.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Stats, want) {
+		t.Fatalf("cached stats bytes differ:\ngot:  %s\nwant: %s", resp.Stats, want)
+	}
+	if s.cacheHits.Load() != 1 || s.executions.Load() != 0 {
+		t.Fatalf("hits %d executions %d, want 1 and 0", s.cacheHits.Load(), s.executions.Load())
+	}
+}
+
+// TestPrepare covers request resolution: defaults, ablation sugar, the
+// ablation↔sweep cache-identity contract, and rejection of nonsense.
+func TestPrepare(t *testing.T) {
+	s := testServer(t, Options{})
+	name := workload.Names()[0]
+
+	pc, err := s.prepare(CellRequest{Workload: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.series != "fdp24" || pc.addr == "" {
+		t.Fatalf("default cell: series %q addr %q", pc.series, pc.addr)
+	}
+
+	pc, err = s.prepare(CellRequest{Workload: name, Ablation: "ftq4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.series != "" || pc.config.Name != "ftq4" || pc.config.Frontend.FTQEntries != 4 {
+		t.Fatalf("ftq4 cell: series %q config %+v", pc.series, pc.config)
+	}
+	// The override cell must be addressed exactly as an FTQ-depth
+	// ablation sweep addresses the same machine.
+	addr, err := experiment.ConfigCellAddress(pc.spec, pc.config, pc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.addr != addr {
+		t.Fatalf("ftq4 address %s != sweep-identity address %s", pc.addr, addr)
+	}
+
+	pc, err = s.prepare(CellRequest{Workload: name, Ablation: "eip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.series != "eip+fdp24" {
+		t.Fatalf("eip ablation resolved to series %q, want eip+fdp24", pc.series)
+	}
+
+	if _, err := s.prepare(CellRequest{Workload: "no-such-workload"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := s.prepare(CellRequest{Workload: name, Ablation: "warp-drive"}); err == nil {
+		t.Fatal("unknown ablation accepted")
+	}
+	if _, err := s.prepare(CellRequest{Workload: name, Series: "cons", FTQ: 8}); err == nil {
+		t.Fatal("series+override conflict accepted")
+	}
+	if _, err := s.prepare(CellRequest{Workload: name, Series: "not-a-series"}); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+}
+
+// TestServedCellMatchesExperiment is the end-to-end byte-identity pin: a
+// cell served over HTTP (real execution, no stubs) is byte-identical to
+// the same cell produced directly by the experiment harness, the repeat
+// request is a cache hit with identical bytes, and /metrics reflects all
+// of it.
+func TestServedCellMatchesExperiment(t *testing.T) {
+	p := experiment.DefaultParams()
+	p.WarmupInstrs = 20_000
+	p.MeasureInstrs = 60_000
+	p.ProfileInstrs = 80_000
+	cache, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Params: p, Cache: cache, Workers: 2, MaxConcurrent: 2, MaxQueue: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := workload.All()[0]
+	req := CellRequest{Workload: spec.Name, Series: "fdp24"}
+
+	status, _, body := postCell(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("cold cell got %d: %s", status, body)
+	}
+	var cold CellResponse
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("cold cell reported cached")
+	}
+
+	// Reference: the same cell via the experiment harness, its own cache.
+	ref := p
+	ref.Cache, err = runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.NewPool(2)
+	defer pool.Close()
+	direct, err := experiment.RunCellCtx(context.Background(), pool, spec, "fdp24", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Stats.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Stats, want) {
+		t.Fatalf("served cell diverged from experiment harness:\nserved: %s\ndirect: %s", cold.Stats, want)
+	}
+	if cold.Fingerprint != direct.Fingerprint {
+		t.Fatalf("served fingerprint %s != direct %s", cold.Fingerprint, direct.Fingerprint)
+	}
+
+	// Repeat: answered from the cache, byte-identical.
+	status, _, body = postCell(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("warm cell got %d: %s", status, body)
+	}
+	var warm CellResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("repeat request missed the cache")
+	}
+	if !bytes.Equal(warm.Stats, cold.Stats) {
+		t.Fatal("warm and cold bytes differ")
+	}
+
+	mres, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	metrics := string(mb)
+	for _, want := range []string{
+		`simd_cells_total{source="cache"} 1`,
+		`simd_requests_total 2`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics lack %q:\n%s", want, metrics)
+		}
+	}
+
+	wres, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wres.Body.Close()
+	var wl struct {
+		Workloads []string `json:"workloads"`
+		Series    []string `json:"series"`
+	}
+	if err := json.NewDecoder(wres.Body).Decode(&wl); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Workloads) == 0 || len(wl.Series) != 7 {
+		t.Fatalf("workloads endpoint: %d workloads, %d series", len(wl.Workloads), len(wl.Series))
+	}
+}
+
+// TestSuiteEndpoint drives /v1/suite over stubbed execution: request
+// order is preserved and duplicate cells coalesce.
+func TestSuiteEndpoint(t *testing.T) {
+	s := testServer(t, Options{MaxConcurrent: 2, MaxQueue: 16})
+	var n atomic.Int64
+	s.runCell = func(_ context.Context, pc *preparedCell) (experiment.CellResult, error) {
+		n.Add(1)
+		return stubResult(pc.series, int64(len(pc.spec.Name))), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	names := workload.Names()[:3]
+	b, err := json.Marshal(SuiteRequest{Workloads: names, Series: []string{"fdp24", "cons"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/v1/suite", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(res.Body)
+		t.Fatalf("suite got %d: %s", res.StatusCode, body)
+	}
+	var sr SuiteResponse
+	if err := json.NewDecoder(res.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Cells) != 6 {
+		t.Fatalf("suite returned %d cells, want 6", len(sr.Cells))
+	}
+	for i, cell := range sr.Cells {
+		wantWL, wantSeries := names[i/2], []string{"fdp24", "cons"}[i%2]
+		if cell.Workload != wantWL || cell.Series != wantSeries {
+			t.Fatalf("cell %d is %s/%s, want %s/%s", i, cell.Workload, cell.Series, wantWL, wantSeries)
+		}
+	}
+	if got := n.Load(); got != 6 {
+		t.Fatalf("suite executed %d cells, want 6", got)
+	}
+}
