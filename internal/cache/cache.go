@@ -148,7 +148,13 @@ type Level struct {
 	// repl mirrors lines with per-way replacement state — the LRU
 	// timestamp or the SRRIP re-reference value, depending on cfg.Repl —
 	// so the victim scan is dense too.
-	repl   []uint64
+	repl []uint64
+	// mru holds each set's last-hit (or last-filled) way. Instruction and
+	// data streams re-touch the same line in bursts, so checking the hint
+	// before the way scan turns most hits into a single compare. Purely a
+	// scan-order shortcut: hits, misses, victims and timing are identical
+	// with or without it.
+	mru    []int32
 	lruClk uint64
 	next   Backend
 	rng    *xrand.Rand
@@ -177,6 +183,7 @@ func NewLevel(cfg LevelConfig, next Backend) (*Level, error) {
 		lines: make([]line, sets*cfg.Ways),
 		keys:  make([]uint64, sets*cfg.Ways),
 		repl:  make([]uint64, sets*cfg.Ways),
+		mru:   make([]int32, sets),
 		next:  next,
 		rng:   xrand.New(0xcafe ^ uint64(len(cfg.Name))),
 	}
@@ -232,12 +239,21 @@ func (l *Level) Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle {
 		l.stats.PrefetchReqs++
 	}
 
-	for i, k := range keys {
-		if k != key {
-			continue
+	wi := -1
+	if h := int(l.mru[set]); keys[h] == key {
+		wi = h
+	} else {
+		for i, k := range keys {
+			if k == key {
+				wi = i
+				l.mru[set] = int32(i)
+				break
+			}
 		}
+	}
+	if wi >= 0 {
 		// Present (possibly still in flight).
-		w := &l.lines[base+i]
+		w := &l.lines[base+wi]
 		if kind == Demand {
 			l.stats.Hits++
 			if w.prefetch {
@@ -248,7 +264,7 @@ func (l *Level) Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle {
 				l.stats.MergedInflight++
 			}
 		}
-		l.touch(base + i)
+		l.touch(base + wi)
 		if w.ready > now {
 			return w.ready
 		}
@@ -271,6 +287,7 @@ func (l *Level) Access(lineAddr isa.Addr, now Cycle, kind AccessKind) Cycle {
 	}
 	*v = line{tag: key - 1, valid: true, ready: ready, prefetch: kind == Prefetch}
 	keys[vi] = key
+	l.mru[set] = int32(vi)
 	if kind == Prefetch {
 		l.stats.PrefetchFills++
 		if l.sink != nil {
@@ -381,6 +398,9 @@ func (l *Level) Flush() {
 		l.lines[i] = line{}
 		l.keys[i] = 0
 		l.repl[i] = 0
+	}
+	for i := range l.mru {
+		l.mru[i] = 0
 	}
 }
 

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"math"
+)
+
+// BatchMember is one simulator in a lockstep batch, typically built over
+// a trace.FanoutReader so every member consumes one shared instruction
+// stream:
+//
+//	fo := trace.NewFanout(program.NewExecutor(prog, seed))
+//	r := fo.NewReader()
+//	sim, _ := core.New(cfg, r)
+//	member := core.BatchMember{Sim: sim, Pos: r.Consumed, Detach: r.Detach}
+type BatchMember struct {
+	Sim *Sim
+	// Pos reports the member's stream position — instructions consumed
+	// from the shared source (trace.FanoutReader.Consumed). The scheduler
+	// always advances the rearmost live member, so positions stay within
+	// the scheduling quantum (batchSlack) of each other and the shared
+	// window stays bounded. Required.
+	Pos func() int64
+	// Detach, if non-nil, is called exactly once when the member finishes
+	// (successfully or not), releasing its claim on the shared stream so
+	// a member that exhausts its budget early stops pinning the window
+	// without stalling the rest (trace.FanoutReader.Detach).
+	Detach func()
+}
+
+// batchSlack is the lockstep scheduling quantum in stream instructions:
+// the running member may advance this far past the rearmost other live
+// member before the scheduler switches. A one-block quantum would keep
+// the shared window minimal but thrash the host cache — every switch
+// drags a different simulator's predictor, BTB and cache-model tables
+// back in — so the quantum trades a bounded window (~slack instructions,
+// well under a megabyte) for each member simulating long locality-
+// friendly stretches. Results are interleaving-independent (each Sim's
+// state is touched only by its own steps), so this is purely a
+// wall-clock knob.
+const batchSlack = 16 * 1024
+
+// BatchResult is one member's outcome: exactly what a solo RunCtx over
+// the same config and stream would have returned.
+type BatchResult struct {
+	Stats Stats
+	Err   error
+}
+
+// RunBatch runs the members' simulations to completion in lockstep over
+// their shared instruction stream. Each member executes the identical
+// advance/finish sequence a solo Sim.Run would — the scheduler only
+// chooses which member's loop body runs next, and a Sim's state is
+// touched by nothing but its own steps — so every member's Stats are
+// byte-identical to its solo run (TestRunBatchMatchesSolo,
+// FuzzBatchEquivalence). A member that finishes early (budget exhausted,
+// wedged, source drained) detaches and the rest continue.
+func RunBatch(members []BatchMember) []BatchResult {
+	return RunBatchCtx(context.Background(), members)
+}
+
+// RunBatchCtx is RunBatch with cooperative cancellation; each member
+// observes the context exactly as its solo RunCtx would and reports the
+// cancellation error in its BatchResult.
+func RunBatchCtx(ctx context.Context, members []BatchMember) []BatchResult {
+	for i := range members {
+		if members[i].Pos == nil {
+			panic("core: BatchMember.Pos is required")
+		}
+	}
+	res := make([]BatchResult, len(members))
+	states := make([]runState, len(members))
+	done := make([]bool, len(members))
+	for i := range states {
+		states[i] = newRunState(ctx)
+	}
+	live := len(members)
+	finish := func(i int, st Stats, err error) {
+		res[i] = BatchResult{Stats: st, Err: err}
+		done[i] = true
+		live--
+		if members[i].Detach != nil {
+			members[i].Detach()
+		}
+	}
+	for live > 0 {
+		// The rearmost live member runs next (ties break to the lowest
+		// index, keeping the schedule deterministic).
+		mi := -1
+		for i := range members {
+			if done[i] {
+				continue
+			}
+			if mi < 0 || members[i].Pos() < members[mi].Pos() {
+				mi = i
+			}
+		}
+		// It may advance until it is a full quantum past the rearmost of
+		// the *other* live members — the barrier that bounds the shared
+		// window's position spread at batchSlack plus one block. The last
+		// survivor has no barrier and runs straight to completion.
+		barrier := int64(math.MaxInt64)
+		for i := range members {
+			if done[i] || i == mi {
+				continue
+			}
+			if p := members[i].Pos(); p < barrier {
+				barrier = p
+			}
+		}
+		for {
+			fin, err := members[mi].Sim.advance(ctx, &states[mi])
+			if err != nil {
+				finish(mi, Stats{}, err)
+				break
+			}
+			if fin {
+				st, ferr := members[mi].Sim.finishRun()
+				finish(mi, st, ferr)
+				break
+			}
+			if members[mi].Pos() > barrier+batchSlack {
+				break
+			}
+		}
+	}
+	return res
+}

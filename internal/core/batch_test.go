@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"frontsim/internal/program"
+	"frontsim/internal/trace"
+	"frontsim/internal/workload"
+	"frontsim/internal/xrand"
+)
+
+// batchProg builds a suite workload's program and executor seed, shared
+// between a batch and its solo reference runs.
+func batchProg(t testing.TB, name string) (*program.Program, uint64) {
+	t.Helper()
+	spec, ok := workload.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, spec.Seed ^ 0x5eed5eed5eed5eed
+}
+
+// memberSpec describes one batch member for the differential helpers: a
+// config plus an optional per-member source budget (0 = unlimited).
+type memberSpec struct {
+	cfg   Config
+	limit int64
+}
+
+// runBatchVsSolo runs the members once as a lockstep batch over a shared
+// fan-out and once each as solo runs over fresh executors, asserting
+// byte-identical canonical stats (or identical errors) per member at its
+// detach point. It returns the batch's window high-water mark.
+func runBatchVsSolo(t testing.TB, prog *program.Program, seed uint64, specs []memberSpec) int {
+	t.Helper()
+	fo := trace.NewFanout(program.NewExecutor(prog, seed))
+	members := make([]BatchMember, len(specs))
+	for i, ms := range specs {
+		r := fo.NewReader()
+		var src trace.Source = r
+		if ms.limit > 0 {
+			src = trace.NewLimit(r, ms.limit)
+		}
+		sim, err := New(ms.cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = BatchMember{Sim: sim, Pos: r.Consumed, Detach: r.Detach}
+	}
+	results := RunBatch(members)
+
+	for i, ms := range specs {
+		var src trace.Source = program.NewExecutor(prog, seed)
+		if ms.limit > 0 {
+			src = trace.NewLimit(src, ms.limit)
+		}
+		want, werr := RunSource(ms.cfg, src)
+		got, gerr := results[i].Stats, results[i].Err
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("member %d (%s): batch err %v, solo err %v", i, ms.cfg.Name, gerr, werr)
+		}
+		if gerr != nil {
+			if gerr.Error() != werr.Error() {
+				t.Fatalf("member %d (%s): batch err %q, solo err %q", i, ms.cfg.Name, gerr, werr)
+			}
+			continue
+		}
+		gj, err := got.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wj, err := want.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("member %d (%s): stats diverge\nbatch: %s\nsolo:  %s", i, ms.cfg.Name, gj, wj)
+		}
+	}
+	return fo.MaxWindow()
+}
+
+// TestRunBatchMatchesSolo pins the tentpole equivalence: heterogeneous
+// configurations (both front-ends, mixed warmups, fast-forward on and
+// off) batched over one shared stream produce stats byte-identical to
+// their solo runs, while the shared window stays within the scheduling
+// quantum.
+func TestRunBatchMatchesSolo(t *testing.T) {
+	prog, seed := batchProg(t, "secret_srv12")
+	cons := smallConfig("b-cons", true)
+	fdp := smallConfig("b-fdp", false)
+	fdp.FastForward = true
+	short := smallConfig("b-short", false)
+	short.WarmupInstrs, short.MaxInstrs = 5_000, 60_000
+	maxWin := runBatchVsSolo(t, prog, seed, []memberSpec{{cfg: cons}, {cfg: fdp}, {cfg: short}})
+	if limit := 2*batchSlack + 8_192; maxWin > limit {
+		t.Fatalf("lockstep batch window high-water %d > %d; members are not staying within the scheduling quantum", maxWin, limit)
+	}
+}
+
+// TestRunBatchHeterogeneousLimits pins early detach: members whose Limit
+// budgets chop the shared stream at different points (including inside
+// warmup) detach early without perturbing the members that run on.
+func TestRunBatchHeterogeneousLimits(t *testing.T) {
+	prog, seed := batchProg(t, "public_srv_60")
+	mk := func(name string, limit int64) memberSpec {
+		c := smallConfig(name, false)
+		return memberSpec{cfg: c, limit: limit}
+	}
+	runBatchVsSolo(t, prog, seed, []memberSpec{
+		mk("b-lim-warmup", 9_000), // ends inside warmup: the !measured path
+		mk("b-lim-mid", 60_000),
+		mk("b-unlimited", 0),
+	})
+}
+
+// TestRunBatchSingleton pins the batch-of-one degenerate case.
+func TestRunBatchSingleton(t *testing.T) {
+	prog, seed := batchProg(t, "secret_crypto52")
+	c := smallConfig("b-solo", false)
+	c.FastForward = true
+	runBatchVsSolo(t, prog, seed, []memberSpec{{cfg: c}})
+}
+
+// TestRunBatchCancelled pins cancellation: every member of a batch run
+// under a dead context reports the cancellation, none caches stats.
+func TestRunBatchCancelled(t *testing.T) {
+	prog, seed := batchProg(t, "secret_srv12")
+	fo := trace.NewFanout(program.NewExecutor(prog, seed))
+	var members []BatchMember
+	for i := 0; i < 2; i++ {
+		r := fo.NewReader()
+		cfg := smallConfig("b-cancel", i == 0)
+		cfg.FastForward = true // cancel is polled every jump
+		sim, err := New(cfg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, BatchMember{Sim: sim, Pos: r.Consumed, Detach: r.Detach})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, res := range RunBatchCtx(ctx, members) {
+		if res.Err == nil {
+			t.Fatalf("member %d completed under a cancelled context", i)
+		}
+		if res.Stats != (Stats{}) {
+			t.Fatalf("member %d reported stats from a cancelled run", i)
+		}
+	}
+}
+
+// FuzzBatchEquivalence fuzzes the lockstep batch against solo runs:
+// randomized workload seeds, batch sizes 1..4 (including ragged mixes
+// where members share nothing but the stream), heterogeneous per-member
+// warmup, measurement and Limit budgets, both front-ends, fast-forward
+// mixed on and off. Every member must match its solo run byte-for-byte
+// at its detach point.
+func FuzzBatchEquivalence(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(0x5eed))
+	f.Add(uint64(0xdeadbeef))
+	f.Add(uint64(42))
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		sm := xrand.NewSplitMix64(raw)
+		spec := fuzzSpec(t, sm.Next())
+		prog, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := spec.Seed ^ 0x5eed5eed5eed5eed
+
+		n := 1 + int(sm.Next()%4)
+		specs := make([]memberSpec, n)
+		for i := range specs {
+			c := smallConfig("b-fuzz", sm.Next()%2 == 0)
+			c.WarmupInstrs = int64(sm.Next() % 6_000)
+			c.MaxInstrs = 5_000 + int64(sm.Next()%25_000)
+			c.FastForward = sm.Next()%2 == 0
+			ms := memberSpec{cfg: c}
+			if sm.Next()%3 == 0 {
+				// A budget around the run length exercises detach inside
+				// warmup, mid-measurement, and never.
+				ms.limit = int64(sm.Next() % uint64(c.WarmupInstrs+c.MaxInstrs+10_000))
+				if ms.limit == 0 {
+					ms.limit = 1
+				}
+			}
+			specs[i] = ms
+		}
+		runBatchVsSolo(t, prog, seed, specs)
+	})
+}

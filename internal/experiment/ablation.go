@@ -50,9 +50,12 @@ func runCachedSim(p Params, key simKey, c core.Config, prog *program.Program) (c
 }
 
 // sweep runs one configuration grid — cells[si][ci] for spec si and
-// configuration ci — through the runner pool, building each spec's program
-// once and fanning its cells out as stealable jobs. mkCfg must be pure: it
-// is called once per cell on an arbitrary worker.
+// configuration ci — through the runner pool. Each spec's cells are
+// probed against the cache first (warm cells are recorded immediately
+// and never join a batch; a fully warm spec skips even building its
+// program); the cold remainder runs as one lockstep batch over the
+// spec's shared stream, or as per-cell stealable jobs with batching off.
+// mkCfg must be pure: it is called once per cell on an arbitrary worker.
 func sweep(specs []workload.Spec, nCfg int, p Params, mkCfg func(spec workload.Spec, ci int) core.Config) ([][]core.Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -65,24 +68,45 @@ func sweep(specs []workload.Spec, nCfg int, p Params, mkCfg func(spec workload.S
 		si, spec := si, spec
 		out[si] = make([]core.Stats, nCfg)
 		g.Go(func() error {
+			var cells []batchCell
+			for ci := 0; ci < nCfg; ci++ {
+				ci := ci
+				c := mkCfg(spec, ci)
+				c.Audit = p.Audit
+				c.FastForward = p.FastForward
+				key := baseSimKey(spec, p, c)
+				var st core.Stats
+				if ok, err := p.Cache.Get(key, &st); err != nil {
+					return err
+				} else if ok {
+					p.obsRecord(&st, spec.Name, c.Name)
+					out[si][ci] = st
+					continue
+				}
+				cells = append(cells, batchCell{
+					cfg: c,
+					wl:  spec.Name, series: c.Name,
+					label: fmt.Sprintf("%s cell %d", spec.Name, ci),
+					commit: func(st core.Stats) error {
+						out[si][ci] = st
+						if err := p.Cache.Put(key, st); err != nil {
+							return err
+						}
+						p.obsRecord(&st, spec.Name, c.Name)
+						return nil
+					},
+				})
+			}
+			if len(cells) == 0 {
+				return nil
+			}
 			prog, err := spec.Build()
 			if err != nil {
 				return err
 			}
+			execSeed := spec.Seed ^ p.ExecSeedSalt
 			sub := pool.NewGroup()
-			for ci := 0; ci < nCfg; ci++ {
-				ci := ci
-				sub.Go(func() error {
-					c := mkCfg(spec, ci)
-					c.Audit = p.Audit
-					st, err := runCachedSim(p, baseSimKey(spec, p, c), c, prog)
-					if err != nil {
-						return fmt.Errorf("%s cell %d: %w", spec.Name, ci, err)
-					}
-					out[si][ci] = st
-					return nil
-				})
-			}
+			dispatchCells(sub, p, prog, execSeed, cells)
 			return sub.Wait()
 		})
 	}
@@ -159,6 +183,8 @@ func AblationFanout(specs []workload.Spec, thresholds []float64, p Params) (*sta
 			mk := func() core.Config {
 				c := core.DefaultConfig()
 				c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
+				c.Audit = p.Audit
+				c.FastForward = p.FastForward
 				return c
 			}
 			base, err := runCachedSim(p, baseSimKey(spec, p, mk()), mk(), prog)

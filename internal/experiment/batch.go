@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"frontsim/internal/core"
+	"frontsim/internal/obs"
+	"frontsim/internal/program"
+	"frontsim/internal/runner"
+	"frontsim/internal/trace"
+)
+
+// batchCell is one cold (cache-missed) simulation cell queued for
+// execution against a workload's instruction stream. Warm cells are
+// recorded straight from the cache by the planners and never reach here,
+// so a batch contains exactly the cold configurations.
+type batchCell struct {
+	cfg core.Config
+	// wl and series key the observability hooks (Params.ObsRun and the
+	// suite collector), exactly as the per-cell path keys them.
+	wl, series string
+	// label prefixes errors ("workload series: ...").
+	label string
+	// commit publishes the finished stats: result slot, cache put,
+	// obs record, progress line — identical to the per-cell path's
+	// post-run sequence.
+	commit func(core.Stats) error
+}
+
+// batchHook, when non-nil, observes every batched execution with its
+// cells; the mixed warm/cold regression test uses it to assert batch
+// composition. Never set outside tests.
+var batchHook func(cells []batchCell)
+
+// dispatchCells submits cells to the group: in batch mode one lockstep
+// job per workload stream (the batch is the pool's scheduling unit), in
+// per-cell mode one stealable job per cell — the pre-batching execution
+// path, preserved both as the equivalence baseline and for -batch=false.
+func dispatchCells(g *runner.Group, p Params, prog *program.Program, execSeed uint64, cells []batchCell) {
+	if p.Batch && len(cells) > 1 {
+		g.Go(func() error { return runCellBatch(p, prog, execSeed, cells) })
+		return
+	}
+	for _, cell := range cells {
+		cell := cell
+		g.Go(func() error { return runCellSolo(p, prog, execSeed, cell) })
+	}
+}
+
+// runCellSolo executes one cold cell over its own executor — the
+// pre-batching live path, byte-for-byte.
+func runCellSolo(p Params, prog *program.Program, execSeed uint64, cell batchCell) error {
+	c := cell.cfg
+	if p.ObsRun != nil {
+		c.Obs = p.ObsRun(cell.wl, cell.series)
+	}
+	st, err := core.RunSource(c, program.NewExecutor(prog, execSeed))
+	if cl, ok := c.Obs.(io.Closer); ok {
+		if cerr := cl.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing observer: %w", cerr)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", cell.label, err)
+	}
+	return cell.commit(st)
+}
+
+// runCellBatch executes the cold cells in lockstep over one shared
+// fan-out of the workload's stream: the program is executed and decoded
+// once, every live config's simulator consumes the same blocks, and a
+// cell that finishes early detaches without stalling the rest. Per-cell
+// identities are untouched — each cell keeps its own config, cache key,
+// observer and commit — so batched results are byte-identical to the
+// per-cell path (TestBatchEquivalence).
+func runCellBatch(p Params, prog *program.Program, execSeed uint64, cells []batchCell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	if batchHook != nil {
+		batchHook(cells)
+	}
+	fo := trace.NewFanout(program.NewExecutor(prog, execSeed))
+	members := make([]core.BatchMember, len(cells))
+	sinks := make([]obs.Sink, len(cells))
+	for i, cell := range cells {
+		c := cell.cfg
+		if p.ObsRun != nil {
+			sinks[i] = p.ObsRun(cell.wl, cell.series)
+			c.Obs = sinks[i]
+		}
+		r := fo.NewReader()
+		sim, err := core.New(c, r)
+		if err != nil {
+			closeSinks(sinks[:i+1])
+			return fmt.Errorf("%s: %w", cell.label, err)
+		}
+		members[i] = core.BatchMember{Sim: sim, Pos: r.Consumed, Detach: r.Detach}
+	}
+	results := core.RunBatch(members)
+
+	var firstErr error
+	for i, cell := range cells {
+		err := results[i].Err
+		if cl, ok := sinks[i].(io.Closer); ok {
+			if cerr := cl.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("closing observer: %w", cerr)
+			}
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", cell.label, err)
+			}
+			continue
+		}
+		if err := cell.commit(results[i].Stats); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// closeSinks best-effort-closes the observers of a batch that failed to
+// assemble, so no file-backed sink leaks its descriptor.
+func closeSinks(sinks []obs.Sink) {
+	for _, s := range sinks {
+		if cl, ok := s.(io.Closer); ok {
+			cl.Close()
+		}
+	}
+}

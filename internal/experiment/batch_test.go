@@ -1,0 +1,260 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"frontsim/internal/obs"
+	"frontsim/internal/runner"
+	"frontsim/internal/workload"
+)
+
+// batchHarnessParams scales the budgets below tinyParams so the
+// equivalence harness can afford two full passes (matrix plus all seven
+// ablations, batched and per-cell) in one test.
+func batchHarnessParams() Params {
+	p := DefaultParams()
+	p.WarmupInstrs = 40_000
+	p.MeasureInstrs = 100_000
+	p.ProfileInstrs = 200_000
+	return p
+}
+
+// snapshotDir reads every file under dir keyed by slash-separated
+// relative path, for byte-level directory comparison.
+func snapshotDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	files := map[string][]byte{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		files[filepath.ToSlash(rel)] = b
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// batchPass is everything one full batched or per-cell pass produces: the
+// matrix series, every ablation table, the suite metrics export, the
+// run-cache directory contents, and execution-shape counters.
+type batchPass struct {
+	series   [][]byte          // canonical stats JSON per matrix series
+	tables   map[string]string // rendered ablation tables by name
+	obs      []byte            // suite metrics export
+	cache    map[string][]byte // cache dir file snapshot
+	sinks    int64             // ObsRun invocations (one per live cell)
+	poolJobs int64             // pool jobs the matrix pass executed
+}
+
+// runBatchPass executes the full evaluation surface — the per-workload
+// matrix plus all seven ablations — against a fresh cache, with audit and
+// both observability hooks enabled, in the requested execution mode.
+func runBatchPass(t *testing.T, spec workload.Spec, batch bool) batchPass {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := runner.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := batchHarnessParams()
+	p.Cache = c
+	p.Batch = batch
+	p.Audit = true
+	col := &obs.SuiteCollector{}
+	p.Obs = col
+	var sinks atomic.Int64
+	p.ObsRun = func(workload, series string) obs.Sink {
+		sinks.Add(1)
+		return nil
+	}
+
+	pool := runner.NewPool(p.Parallelism)
+	m, err := runMatrixPooled(pool, spec, 1, p, nil)
+	poolJobs := pool.JobsExecuted()
+	pool.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := batchPass{tables: map[string]string{}, poolJobs: poolJobs}
+	for id := seriesID(0); id < numSeries; id++ {
+		j, err := m.seriesPtr(id).CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.series = append(out.series, j)
+	}
+
+	specs := []workload.Spec{spec}
+	for _, abl := range []struct {
+		name string
+		run  func() (interface{ String() string }, error)
+	}{
+		{"ftq", func() (interface{ String() string }, error) { return AblationFTQDepth(specs, []int{2, 8, 24}, p) }},
+		{"fanout", func() (interface{ String() string }, error) { return AblationFanout(specs, []float64{0.3, 0.6}, p) }},
+		{"frontend", func() (interface{ String() string }, error) { return AblationFrontend(specs, p) }},
+		{"predictor", func() (interface{ String() string }, error) { return AblationPredictor(specs, p) }},
+		{"replacement", func() (interface{ String() string }, error) { return AblationReplacement(specs, p) }},
+		{"wrongpath", func() (interface{ String() string }, error) { return AblationWrongPath(specs, []int{0, 4}, p) }},
+		{"btb", func() (interface{ String() string }, error) { return AblationBTB(specs, []int{0, 64}, p) }},
+	} {
+		tab, err := abl.run()
+		if err != nil {
+			t.Fatalf("%s: %v", abl.name, err)
+		}
+		out.tables[abl.name] = tab.String()
+	}
+
+	var buf bytes.Buffer
+	if err := col.Export().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.obs = buf.Bytes()
+	out.cache = snapshotDir(t, dir)
+	out.sinks = sinks.Load()
+	return out
+}
+
+// TestBatchEquivalence is the harness the tentpole is pinned by: the
+// complete evaluation surface — the seven-series matrix and all seven
+// ablations, with audit and observability enabled — run batched and
+// per-cell from cold caches must produce byte-identical stats, identical
+// tables, identical metric exports, and byte-identical cache directories
+// (same file names, same bytes: the Batch flag is invisible to every
+// fingerprint and cache key, so both modes share entries).
+func TestBatchEquivalence(t *testing.T) {
+	spec, ok := workload.Lookup("public_srv_60")
+	if !ok {
+		t.Fatal("suite workload missing")
+	}
+	batched := runBatchPass(t, spec, true)
+	solo := runBatchPass(t, spec, false)
+
+	for id := seriesID(0); id < numSeries; id++ {
+		if !bytes.Equal(batched.series[id], solo.series[id]) {
+			t.Errorf("%s: stats diverge\nbatched:  %s\nper-cell: %s",
+				seriesLabels[id], batched.series[id], solo.series[id])
+		}
+	}
+	for name, want := range solo.tables {
+		if got := batched.tables[name]; got != want {
+			t.Errorf("ablation %s diverges\nbatched:\n%s\nper-cell:\n%s", name, got, want)
+		}
+	}
+	if !bytes.Equal(batched.obs, solo.obs) {
+		t.Errorf("suite metrics diverge\nbatched:  %s\nper-cell: %s", batched.obs, solo.obs)
+	}
+	if batched.sinks != solo.sinks {
+		t.Errorf("ObsRun invocations: batched %d, per-cell %d", batched.sinks, solo.sinks)
+	}
+
+	if len(batched.cache) == 0 {
+		t.Fatal("batched pass wrote no cache entries")
+	}
+	for rel, want := range solo.cache {
+		got, ok := batched.cache[rel]
+		if !ok {
+			t.Errorf("cache entry %s missing from batched run", rel)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("cache entry %s differs between modes", rel)
+		}
+	}
+	for rel := range batched.cache {
+		if _, ok := solo.cache[rel]; !ok {
+			t.Errorf("cache entry %s only written by batched run", rel)
+		}
+	}
+
+	// The batch is the pool's scheduling unit: the batched matrix runs its
+	// seven cold cells as three stream jobs (base program, rewritten
+	// program, trigger table), the per-cell matrix as seven.
+	if batched.poolJobs >= solo.poolJobs {
+		t.Errorf("batched matrix executed %d pool jobs, per-cell %d; batching did not coarsen job granularity",
+			batched.poolJobs, solo.poolJobs)
+	}
+}
+
+// TestMixedWarmColdBatch pins batch composition against a half-warm
+// cache: cells pre-warmed by an earlier pass are served straight from the
+// cache and never join a batch, and each workload's remaining cold cells
+// run as exactly one lockstep batch.
+func TestMixedWarmColdBatch(t *testing.T) {
+	specA, ok := workload.Lookup("public_srv_60")
+	if !ok {
+		t.Fatal("suite workload missing")
+	}
+	specB, ok := workload.Lookup("secret_crypto52")
+	if !ok {
+		t.Fatal("suite workload missing")
+	}
+	c, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := batchHarnessParams()
+	p.Cache = c
+
+	// Pre-warm a strict subset: specA's ftq=8 cell only.
+	if _, err := AblationFTQDepth([]workload.Spec{specA}, []int{8}, p); err != nil {
+		t.Fatal(err)
+	}
+	pre := c.Metrics()
+
+	var mu sync.Mutex
+	batches := map[string][][]string{} // workload -> one series list per batch
+	batchHook = func(cells []batchCell) {
+		mu.Lock()
+		defer mu.Unlock()
+		var series []string
+		for _, cell := range cells {
+			if cell.wl != cells[0].wl {
+				t.Errorf("batch mixes workloads %s and %s", cells[0].wl, cell.wl)
+			}
+			series = append(series, cell.series)
+		}
+		batches[cells[0].wl] = append(batches[cells[0].wl], series)
+	}
+	defer func() { batchHook = nil }()
+
+	if _, err := AblationFTQDepth([]workload.Spec{specA, specB}, []int{2, 8, 24}, p); err != nil {
+		t.Fatal(err)
+	}
+
+	if m := c.Metrics(); m.Hits <= pre.Hits {
+		t.Errorf("pre-warmed cell was not served from the cache: %+v -> %+v", pre, m)
+	}
+	for wl, want := range map[string][]string{
+		specA.Name: {"ftq2", "ftq24"}, // ftq8 is warm and must stay out
+		specB.Name: {"ftq2", "ftq8", "ftq24"},
+	} {
+		got := batches[wl]
+		if len(got) != 1 {
+			t.Fatalf("%s: %d batch jobs, want exactly 1 (%v)", wl, len(got), got)
+		}
+		if len(got[0]) != len(want) {
+			t.Fatalf("%s: batch %v, want %v", wl, got[0], want)
+		}
+		for i := range want {
+			if got[0][i] != want[i] {
+				t.Fatalf("%s: batch %v, want %v", wl, got[0], want)
+			}
+		}
+	}
+}

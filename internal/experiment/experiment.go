@@ -17,7 +17,6 @@ package experiment
 
 import (
 	"fmt"
-	"io"
 
 	"frontsim/internal/asmdb"
 	"frontsim/internal/cfg"
@@ -74,6 +73,16 @@ type Params struct {
 	// is excluded from fingerprints and cache keys: fast-forwarded and
 	// cycle-stepped runs share cache entries. DefaultParams turns it on.
 	FastForward bool `json:"-"`
+	// Batch groups a workload's cold cells into one lockstep batch job:
+	// the instruction stream is generated and decoded once per workload
+	// and fanned out to every cold config's simulator (trace.Fanout +
+	// core.RunBatch). Purely an execution strategy: per-cell cache
+	// identities, fingerprints and results are byte-identical with it on
+	// or off (TestBatchEquivalence), so it is excluded from serialized
+	// keys and batched and per-cell runs share cache entries. Warm cells
+	// are served from the cache and never join a batch. DefaultParams
+	// turns it on.
+	Batch bool `json:"-"`
 }
 
 // obsRecord exports one cell's metrics to the suite collector.
@@ -96,6 +105,7 @@ func DefaultParams() Params {
 		AsmDB:         asmdb.DefaultOptions(),
 		ExecSeedSalt:  0x5eed5eed5eed5eed,
 		FastForward:   true,
+		Batch:         true,
 	}
 }
 
@@ -354,51 +364,45 @@ func runMatrixPooled(pool *runner.Pool, spec workload.Spec, index int, p Params,
 	}
 	execSeed := spec.Seed ^ p.ExecSeedSalt
 
-	runSeries := func(g *runner.Group, id seriesID, mk func() (core.Config, *program.Program, error)) {
-		if have[id] {
-			return
-		}
-		g.Go(func() error {
-			c, target, err := mk()
-			if err != nil {
-				return err
-			}
-			if p.ObsRun != nil {
-				c.Obs = p.ObsRun(spec.Name, seriesLabels[id])
-			}
-			st, err := core.RunSource(c, program.NewExecutor(target, execSeed))
-			if cl, ok := c.Obs.(io.Closer); ok {
-				if cerr := cl.Close(); cerr != nil && err == nil {
-					err = fmt.Errorf("closing observer: %w", cerr)
+	// seriesCell wraps one cold series as a batchCell; its commit is the
+	// exact post-run sequence the historical per-series jobs performed.
+	seriesCell := func(id seriesID, c core.Config) batchCell {
+		return batchCell{
+			cfg: c,
+			wl:  spec.Name, series: seriesLabels[id],
+			label: spec.Name + " " + seriesLabels[id],
+			commit: func(st core.Stats) error {
+				*m.seriesPtr(id) = st
+				if err := p.Cache.Put(keys.series[id], st); err != nil {
+					return err
 				}
-			}
-			if err != nil {
-				return fmt.Errorf("%s %s: %w", spec.Name, seriesLabels[id], err)
-			}
-			*m.seriesPtr(id) = st
-			if err := p.Cache.Put(keys.series[id], st); err != nil {
-				return err
-			}
-			p.obsRecord(&st, spec.Name, seriesLabels[id])
-			pr.JobDone(spec.Name+"/"+seriesLabels[id], false)
-			return nil
-		})
+				p.obsRecord(&st, spec.Name, seriesLabels[id])
+				pr.JobDone(spec.Name+"/"+seriesLabels[id], false)
+				return nil
+			},
+		}
 	}
 
-	// Wave 1: runs against the unmodified program. The conservative
-	// baseline doubles as the profiling IPC source, as the paper profiles
-	// on the pre-FDP machine AsmDB's authors evaluated.
+	// Wave 1: runs against the unmodified program — one lockstep batch
+	// over a shared stream when batching is on. The conservative baseline
+	// doubles as the profiling IPC source, as the paper profiles on the
+	// pre-FDP machine AsmDB's authors evaluated.
 	g := pool.NewGroup()
-	runSeries(g, serCons, func() (core.Config, *program.Program, error) {
-		return p.consConfig(), prog, nil
-	})
-	runSeries(g, serFDP, func() (core.Config, *program.Program, error) {
-		return p.fdpConfig(), prog, nil
-	})
-	runSeries(g, serEIP, func() (core.Config, *program.Program, error) {
+	var w1 []batchCell
+	if !have[serCons] {
+		w1 = append(w1, seriesCell(serCons, p.consConfig()))
+	}
+	if !have[serFDP] {
+		w1 = append(w1, seriesCell(serFDP, p.fdpConfig()))
+	}
+	if !have[serEIP] {
 		c, err := p.eipConfig()
-		return c, prog, err
-	})
+		if err != nil {
+			return nil, err
+		}
+		w1 = append(w1, seriesCell(serEIP, c))
+	}
+	dispatchCells(g, p, prog, execSeed, w1)
 	if err := g.Wait(); err != nil {
 		return nil, err
 	}
@@ -422,6 +426,8 @@ func runMatrixPooled(pool *runner.Pool, spec workload.Spec, index int, p Params,
 
 	// Wave 2: runs that need the plan — the rewritten program for the
 	// insertion-overhead series, the trigger table for the ideal ones.
+	// Two distinct instruction streams, so two batches: cells over the
+	// rewritten program, and trigger-table cells over the base program.
 	if needPlanned {
 		rewritten, _, err := asmdb.Apply(prog, m.Plan)
 		if err != nil {
@@ -433,18 +439,21 @@ func runMatrixPooled(pool *runner.Pool, spec workload.Spec, index int, p Params,
 			return c
 		}
 		g = pool.NewGroup()
-		runSeries(g, serAsmdbCons, func() (core.Config, *program.Program, error) {
-			return p.consConfig(), rewritten, nil
-		})
-		runSeries(g, serAsmdbConsIdeal, func() (core.Config, *program.Program, error) {
-			return withTriggers(p.consConfig()), prog, nil
-		})
-		runSeries(g, serAsmdbFDP, func() (core.Config, *program.Program, error) {
-			return p.fdpConfig(), rewritten, nil
-		})
-		runSeries(g, serAsmdbFDPIdeal, func() (core.Config, *program.Program, error) {
-			return withTriggers(p.fdpConfig()), prog, nil
-		})
+		var rw, trg []batchCell
+		if !have[serAsmdbCons] {
+			rw = append(rw, seriesCell(serAsmdbCons, p.consConfig()))
+		}
+		if !have[serAsmdbFDP] {
+			rw = append(rw, seriesCell(serAsmdbFDP, p.fdpConfig()))
+		}
+		if !have[serAsmdbConsIdeal] {
+			trg = append(trg, seriesCell(serAsmdbConsIdeal, withTriggers(p.consConfig())))
+		}
+		if !have[serAsmdbFDPIdeal] {
+			trg = append(trg, seriesCell(serAsmdbFDPIdeal, withTriggers(p.fdpConfig())))
+		}
+		dispatchCells(g, p, rewritten, execSeed, rw)
+		dispatchCells(g, p, prog, execSeed, trg)
 		if err := g.Wait(); err != nil {
 			return nil, err
 		}

@@ -53,9 +53,19 @@ func (ms *MetricSet) Add(m Metric) {
 	*ms = append(*ms, m)
 }
 
-// Sort orders the set by series key (name, then labels).
+// Sort orders the set by series key (name, then labels), breaking ties
+// on value. The order is total up to byte-identical points, so a set's
+// serialization depends only on its contents — collectors fed the same
+// points in any order (e.g. batched vs per-cell suite execution) export
+// identical bytes even when distinct cells share a series key.
 func (ms MetricSet) Sort() {
-	sort.Slice(ms, func(i, j int) bool { return ms[i].seriesKey() < ms[j].seriesKey() })
+	sort.Slice(ms, func(i, j int) bool {
+		ki, kj := ms[i].seriesKey(), ms[j].seriesKey()
+		if ki != kj {
+			return ki < kj
+		}
+		return ms[i].Value < ms[j].Value
+	})
 }
 
 // WriteJSON writes the set as canonical JSON: sorted, one metric object

@@ -381,29 +381,28 @@ func (p *Program) Validate() error {
 			return fmt.Errorf("func %d: no blocks", fi)
 		}
 		for bi, b := range f.Blocks {
-			where := fmt.Sprintf("func %d block %d", fi, bi)
 			needsFallthrough := false
 			switch b.Term.Kind {
 			case TermNone:
 				if len(b.Body) == 0 {
-					return fmt.Errorf("%s: empty block with no terminator", where)
+					return fmt.Errorf("func %d block %d: empty block with no terminator", fi, bi)
 				}
 				needsFallthrough = true
 			case TermCond:
 				if b.Term.TakenProb < 0 || b.Term.TakenProb > 1 {
-					return fmt.Errorf("%s: TakenProb %v", where, b.Term.TakenProb)
+					return fmt.Errorf("func %d block %d: TakenProb %v", fi, bi, b.Term.TakenProb)
 				}
 				if p.Block(b.Term.Target) == nil {
-					return fmt.Errorf("%s: bad cond target %v", where, b.Term.Target)
+					return fmt.Errorf("func %d block %d: bad cond target %v", fi, bi, b.Term.Target)
 				}
 				needsFallthrough = true
 			case TermJump:
 				if p.Block(b.Term.Target) == nil {
-					return fmt.Errorf("%s: bad jump target %v", where, b.Term.Target)
+					return fmt.Errorf("func %d block %d: bad jump target %v", fi, bi, b.Term.Target)
 				}
 			case TermCall:
 				if int(b.Term.Callee) < 0 || int(b.Term.Callee) >= len(p.Funcs) {
-					return fmt.Errorf("%s: bad callee %d", where, b.Term.Callee)
+					return fmt.Errorf("func %d block %d: bad callee %d", fi, bi, b.Term.Callee)
 				}
 				needsFallthrough = true
 			case TermReturn:
@@ -411,28 +410,28 @@ func (p *Program) Validate() error {
 				// an empty stack ends the stream, which is legal.
 			case TermIndirect:
 				if len(b.Term.Targets) == 0 || len(b.Term.Targets) != len(b.Term.Weights) {
-					return fmt.Errorf("%s: indirect targets/weights mismatch", where)
+					return fmt.Errorf("func %d block %d: indirect targets/weights mismatch", fi, bi)
 				}
 				for _, t := range b.Term.Targets {
 					if p.Block(t) == nil {
-						return fmt.Errorf("%s: bad indirect target %v", where, t)
+						return fmt.Errorf("func %d block %d: bad indirect target %v", fi, bi, t)
 					}
 				}
 			case TermIndirectCall:
 				if len(b.Term.Callees) == 0 || len(b.Term.Callees) != len(b.Term.Weights) {
-					return fmt.Errorf("%s: indirect callees/weights mismatch", where)
+					return fmt.Errorf("func %d block %d: indirect callees/weights mismatch", fi, bi)
 				}
 				for _, c := range b.Term.Callees {
 					if int(c) < 0 || int(c) >= len(p.Funcs) {
-						return fmt.Errorf("%s: bad indirect callee %d", where, c)
+						return fmt.Errorf("func %d block %d: bad indirect callee %d", fi, bi, c)
 					}
 				}
 				needsFallthrough = true
 			default:
-				return fmt.Errorf("%s: unknown terminator kind %d", where, b.Term.Kind)
+				return fmt.Errorf("func %d block %d: unknown terminator kind %d", fi, bi, b.Term.Kind)
 			}
 			if needsFallthrough && bi+1 >= len(f.Blocks) {
-				return fmt.Errorf("%s: terminator kind %d requires a fall-through block", where, b.Term.Kind)
+				return fmt.Errorf("func %d block %d: terminator kind %d requires a fall-through block", fi, bi, b.Term.Kind)
 			}
 			switch b.Term.Kind {
 			case TermCall:
@@ -444,13 +443,13 @@ func (p *Program) Validate() error {
 			}
 			for ii, in := range b.Body {
 				if in.Class.IsBranch() {
-					return fmt.Errorf("%s instr %d: branch class %v in body", where, ii, in.Class)
+					return fmt.Errorf("func %d block %d instr %d: branch class %v in body", fi, bi, ii, in.Class)
 				}
 				if in.Class == isa.ClassSwPrefetch && p.Block(in.PrefetchTarget) == nil {
-					return fmt.Errorf("%s instr %d: bad prefetch target %v", where, ii, in.PrefetchTarget)
+					return fmt.Errorf("func %d block %d instr %d: bad prefetch target %v", fi, bi, ii, in.PrefetchTarget)
 				}
 				if in.Class.IsMem() && in.Data.Kind == DataNone {
-					return fmt.Errorf("%s instr %d: memory instruction without data pattern", where, ii)
+					return fmt.Errorf("func %d block %d instr %d: memory instruction without data pattern", fi, bi, ii)
 				}
 			}
 		}

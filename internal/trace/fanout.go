@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"frontsim/internal/isa"
+)
+
+// fanoutFillMax is the block-size hint used when pulling from the wrapped
+// source. It only affects how many instructions each underlying NextBlock
+// call may deliver, never where readers see block boundaries: boundaries
+// are reconstructed per reader from branch classes, the reader's own max,
+// and stream end, all of which are properties of the flat stream.
+const fanoutFillMax = 256
+
+// fanoutCompactMin is the minimum number of dead leading instructions
+// before the window is physically compacted; trimming on every advance
+// would memmove the window once per block. Compaction additionally waits
+// until the dead prefix is at least half the window, so the bytes moved
+// per compaction are no more than the bytes consumed since the last one —
+// amortized O(1) copying per instruction regardless of how wide the
+// lockstep position spread is.
+const fanoutCompactMin = 1024
+
+// Fanout replays one BlockSource to multiple readers, generating and
+// decoding each instruction exactly once. It retains a sliding window of
+// the stream: the window's leading edge grows on demand (single-owner
+// fill — only the reader that first needs an instruction pulls from the
+// wrapped source), and its trailing edge follows the rearmost live
+// reader, so a set of readers advanced in lockstep keeps the window
+// bounded by their position spread no matter how long the stream is. A
+// reader that is
+// finished must Detach so it stops pinning the trailing edge.
+//
+// Like every Source, a Fanout and its readers are confined to one
+// goroutine; the lockstep batch driver (internal/core.RunBatch) is
+// single-threaded by construction.
+type Fanout struct {
+	src     BlockSource
+	win     []isa.Instr
+	base    int64 // absolute stream index of win[0]
+	ended   bool  // src returned a terminal error; win holds the full tail
+	endErr  error // the terminal error (ErrEnd, or a real failure)
+	scratch []isa.Instr
+	readers []*FanoutReader
+	maxWin  int // high-water mark of len(win), for window-bound tests
+}
+
+// NewFanout wraps src. Readers created before any of them advances
+// observe the stream from its beginning; see NewReader.
+func NewFanout(src BlockSource) *Fanout {
+	return &Fanout{src: src, scratch: make([]isa.Instr, 0, fanoutFillMax)}
+}
+
+// NewReader registers a reader positioned at the oldest retained
+// instruction. Create every reader before advancing any of them: once
+// reading starts, the window's trailing edge follows the rearmost live
+// reader, and a reader created later would begin mid-stream.
+func (f *Fanout) NewReader() *FanoutReader {
+	r := &FanoutReader{f: f, pos: f.base}
+	f.readers = append(f.readers, r)
+	return r
+}
+
+// Window returns the current retained-window length in instructions.
+func (f *Fanout) Window() int { return len(f.win) }
+
+// MaxWindow returns the high-water mark of the retained window — the
+// peak memory the fan-out held, which lockstep readers keep bounded by
+// their scheduler's position-spread quantum.
+func (f *Fanout) MaxWindow() int { return f.maxWin }
+
+// ensure makes the instruction at absolute position pos resident,
+// returning the stream's terminal error if it ended before pos.
+func (f *Fanout) ensure(pos int64) error {
+	if pos < f.base {
+		panic("trace: fanout reader behind the retained window (advanced after Detach, or created late)")
+	}
+	for pos >= f.base+int64(len(f.win)) {
+		if f.ended {
+			return f.endErr
+		}
+		f.compact()
+		f.fill()
+	}
+	return nil
+}
+
+// fill pulls one block from the wrapped source onto the window's leading
+// edge. The scratch buffer keeps the underlying NextBlock's "appends to
+// buf" contract away from the window slice, whose capacity the compactor
+// owns.
+func (f *Fanout) fill() {
+	out, err := f.src.NextBlock(f.scratch[:0], fanoutFillMax)
+	f.win = append(f.win, out...)
+	f.scratch = out[:0]
+	if len(f.win) > f.maxWin {
+		f.maxWin = len(f.win)
+	}
+	if err != nil {
+		f.ended, f.endErr = true, err
+		return
+	}
+	if len(out) == 0 {
+		// A non-end call must yield at least one instruction; treat a
+		// violation as a terminal failure rather than spinning.
+		f.ended, f.endErr = true, fmt.Errorf("trace: fanout source returned an empty block without ending")
+	}
+}
+
+// compact drops instructions every live reader has consumed. Detached
+// readers do not pin the window.
+func (f *Fanout) compact() {
+	min := f.base + int64(len(f.win))
+	for _, r := range f.readers {
+		if r.pos < min {
+			min = r.pos
+		}
+	}
+	trim := min - f.base
+	if trim <= 0 {
+		return
+	}
+	emptied := min == f.base+int64(len(f.win))
+	if emptied || (trim >= fanoutCompactMin && trim*2 >= int64(len(f.win))) {
+		n := copy(f.win, f.win[trim:])
+		f.win = f.win[:n]
+		f.base = min
+	}
+}
+
+// FanoutReader is one consumer's view of a Fanout. It implements Source
+// and BlockSource with exactly the wrapped stream's semantics: the same
+// instructions, and NextBlock runs ending where the contract ends them —
+// after a branch (inclusive), at the caller's max, or at stream end with
+// any non-branch tail reported together with ErrEnd.
+type FanoutReader struct {
+	f        *Fanout
+	pos      int64 // absolute stream position (== instructions consumed)
+	detached bool
+}
+
+// Consumed returns the number of instructions the reader has consumed —
+// the stream position the lockstep batch scheduler aligns on.
+func (r *FanoutReader) Consumed() int64 { return r.pos }
+
+// Detach releases the reader's claim on the shared window. Idempotent.
+// The reader must not be advanced afterwards: the window may have moved
+// past its position.
+func (r *FanoutReader) Detach() {
+	if r.detached {
+		return
+	}
+	r.detached = true
+	for i, o := range r.f.readers {
+		if o == r {
+			rs := r.f.readers
+			r.f.readers = append(rs[:i:i], rs[i+1:]...)
+			break
+		}
+	}
+	// Let the trailing edge move up to the remaining readers, then park
+	// the position where any post-detach advance trips ensure's guard.
+	r.f.compact()
+	r.pos = math.MinInt64
+}
+
+// Next implements Source.
+func (r *FanoutReader) Next() (isa.Instr, error) {
+	if err := r.f.ensure(r.pos); err != nil {
+		return isa.Instr{}, err
+	}
+	in := r.f.win[r.pos-r.f.base]
+	r.pos++
+	return in, nil
+}
+
+// NextBlock implements BlockSource by re-chunking the shared flat stream.
+// The cut points depend only on branch positions, max, and stream end —
+// all properties of the stream itself — so any reader observes exactly
+// the block sequence a fresh single-owner source would have produced
+// (TestFanoutReaderContract). The underlying fill block size is
+// invisible: runs are address-contiguous across fill boundaries because
+// discontinuities only follow branch-class instructions, where every run
+// already ends.
+func (r *FanoutReader) NextBlock(buf []isa.Instr, max int) ([]isa.Instr, error) {
+	n0 := len(buf)
+	for len(buf)-n0 < max {
+		if err := r.f.ensure(r.pos); err != nil {
+			// Stream end (or failure) reached while the current run is
+			// open: report it together with the non-branch tail, exactly
+			// like the incremental consumer's lookahead would.
+			return buf, err
+		}
+		// Scan the resident window directly — ensure is hoisted out of the
+		// per-instruction path, which the batched suite traverses once per
+		// reader per instruction.
+		win := r.f.win[r.pos-r.f.base:]
+		if want := max - (len(buf) - n0); len(win) > want {
+			win = win[:want]
+		}
+		for i := range win {
+			in := win[i]
+			if len(buf) > n0 && in.PC != buf[len(buf)-1].PC+isa.InstrSize {
+				// Defensive: contiguity can only break after a branch, where
+				// the run has already ended; mirror the incremental
+				// fallback's boundary check anyway.
+				return buf, nil
+			}
+			buf = append(buf, in)
+			r.pos++
+			if in.Class.IsBranch() {
+				return buf, nil
+			}
+		}
+	}
+	return buf, nil
+}

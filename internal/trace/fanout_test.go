@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"frontsim/internal/isa"
+	"frontsim/internal/xrand"
+)
+
+// chunkSource is the reference BlockSource for the fan-out tests: an
+// in-memory stream implementing the documented contract directly — runs
+// end after a branch (inclusive), when the buffer grows by max, or at
+// stream end with any non-branch tail reported together with ErrEnd.
+type chunkSource struct {
+	instrs []isa.Instr
+	pos    int
+}
+
+func (c *chunkSource) Next() (isa.Instr, error) {
+	if c.pos >= len(c.instrs) {
+		return isa.Instr{}, ErrEnd
+	}
+	in := c.instrs[c.pos]
+	c.pos++
+	return in, nil
+}
+
+func (c *chunkSource) NextBlock(buf []isa.Instr, max int) ([]isa.Instr, error) {
+	n0 := len(buf)
+	for len(buf)-n0 < max {
+		if c.pos >= len(c.instrs) {
+			return buf, ErrEnd
+		}
+		in := c.instrs[c.pos]
+		c.pos++
+		buf = append(buf, in)
+		if in.Class.IsBranch() {
+			return buf, nil
+		}
+	}
+	return buf, nil
+}
+
+// synthStream generates a deterministic contiguous instruction stream: PCs
+// advance by InstrSize within a run and redirect only at taken branches,
+// matching the invariant real executors guarantee (discontinuities occur
+// only after branch-class instructions).
+func synthStream(seed uint64, n int, branchFinal bool) []isa.Instr {
+	sm := xrand.NewSplitMix64(seed)
+	pc := isa.Addr(0x1000)
+	out := make([]isa.Instr, 0, n)
+	branchClasses := []isa.Class{isa.ClassBranch, isa.ClassJump, isa.ClassCall, isa.ClassReturn, isa.ClassIndirect}
+	for len(out) < n {
+		in := isa.Instr{PC: pc}
+		switch sm.Next() % 8 {
+		case 0, 1:
+			cl := branchClasses[sm.Next()%uint64(len(branchClasses))]
+			in.Class = cl
+			in.Taken = cl != isa.ClassBranch || sm.Next()%2 == 0
+			in.Target = isa.Addr(0x1000 + (sm.Next()%4096)*isa.InstrSize)
+		case 2:
+			in.Class = isa.ClassLoad
+			in.DataAddr = isa.Addr(0x100000 + sm.Next()%65536)
+		default:
+			in.Class = isa.ClassALU
+		}
+		out = append(out, in)
+		pc = in.NextPC()
+	}
+	if branchFinal {
+		out[n-1].Class = isa.ClassJump
+		out[n-1].Taken = true
+		out[n-1].Target = 0x1000
+	} else if out[n-1].Class.IsBranch() {
+		out[n-1] = isa.Instr{PC: out[n-1].PC, Class: isa.ClassALU}
+	}
+	return out
+}
+
+// obsStep is one recorded reader observation, replayable against a fresh
+// reference source.
+type obsStep struct {
+	nextBlock bool
+	max       int
+	got       []isa.Instr
+	err       error
+}
+
+func replay(t *testing.T, label string, src Source, log []obsStep) {
+	t.Helper()
+	bs, _ := AsBlockSource(src)
+	for i, step := range log {
+		var got []isa.Instr
+		var err error
+		if step.nextBlock {
+			got, err = bs.NextBlock(nil, step.max)
+		} else {
+			var in isa.Instr
+			in, err = src.Next()
+			if err == nil {
+				got = []isa.Instr{in}
+			}
+		}
+		if !errors.Is(err, step.err) || (err == nil) != (step.err == nil) {
+			t.Fatalf("%s step %d: error %v, reference %v", label, i, step.err, err)
+		}
+		if len(got) != len(step.got) {
+			t.Fatalf("%s step %d: %d instrs, reference %d\nfanout: %v\nref:    %v",
+				label, i, len(step.got), len(got), step.got, got)
+		}
+		for j := range got {
+			if got[j] != step.got[j] {
+				t.Fatalf("%s step %d instr %d: fanout %v, reference %v", label, i, j, step.got[j], got[j])
+			}
+		}
+	}
+}
+
+// TestFanoutSingleReaderMatchesSource pins the degenerate case: one reader
+// must reproduce the wrapped source's block sequence exactly, for every
+// block size and for both stream-end shapes (branch-final, where ErrEnd
+// surfaces alone on the next call, and non-branch-final, where it arrives
+// together with the tail).
+func TestFanoutSingleReaderMatchesSource(t *testing.T) {
+	for _, branchFinal := range []bool{false, true} {
+		for _, max := range []int{1, 3, 8, 33, 1000} {
+			label := fmt.Sprintf("branchFinal=%v/max=%d", branchFinal, max)
+			stream := synthStream(7, 5000, branchFinal)
+			f := NewFanout(&chunkSource{instrs: stream})
+			r := f.NewReader()
+			ref := &chunkSource{instrs: stream}
+			for i := 0; ; i++ {
+				got, gerr := r.NextBlock(nil, max)
+				want, werr := ref.NextBlock(nil, max)
+				if !errors.Is(gerr, werr) || (gerr == nil) != (werr == nil) {
+					t.Fatalf("%s block %d: error %v, reference %v", label, i, gerr, werr)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s block %d: %d instrs, reference %d", label, i, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("%s block %d instr %d: %v, reference %v", label, i, j, got[j], want[j])
+					}
+				}
+				if gerr != nil {
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestFanoutReaderContract is the multi-reader contract property: whatever
+// interleaving of reader advances — mixed Next and NextBlock calls with
+// varying max, heterogeneous per-reader Limit budgets (exercising the
+// budget-chop edge), early detach — every reader observes exactly the
+// sequence a fresh single-reader source would have produced for the same
+// calls.
+func TestFanoutReaderContract(t *testing.T) {
+	for trial := uint64(0); trial < 12; trial++ {
+		sm := xrand.NewSplitMix64(0xfa40 + trial)
+		stream := synthStream(trial, 3000+int(sm.Next()%2000), trial%2 == 0)
+		nReaders := 2 + int(sm.Next()%3)
+		f := NewFanout(&chunkSource{instrs: stream})
+
+		type rdr struct {
+			src   Source // the fanout reader, possibly Limit-wrapped
+			bs    BlockSource
+			inner *FanoutReader
+			limit int64 // 0: unlimited
+			log   []obsStep
+			dead  bool
+		}
+		readers := make([]*rdr, nReaders)
+		for i := range readers {
+			inner := f.NewReader()
+			r := &rdr{inner: inner, src: inner, bs: inner}
+			if sm.Next()%2 == 0 {
+				// Budgets around the stream length hit both the chop-early
+				// and natural-end paths.
+				r.limit = int64(sm.Next() % uint64(len(stream)+500))
+				lim := NewLimit(inner, r.limit)
+				r.src, r.bs = lim, lim
+			}
+			readers[i] = r
+		}
+
+		live := nReaders
+		for live > 0 {
+			r := readers[sm.Next()%uint64(nReaders)]
+			if r.dead {
+				continue
+			}
+			step := obsStep{nextBlock: sm.Next()%4 != 0}
+			if step.nextBlock {
+				step.max = 1 + int(sm.Next()%12)
+				step.got, step.err = r.bs.NextBlock(nil, step.max)
+			} else {
+				in, err := r.src.Next()
+				step.err = err
+				if err == nil {
+					step.got = []isa.Instr{in}
+				}
+			}
+			r.log = append(r.log, step)
+			if step.err != nil {
+				if !errors.Is(step.err, ErrEnd) {
+					t.Fatalf("trial %d: unexpected error %v", trial, step.err)
+				}
+				r.dead = true
+				r.inner.Detach()
+				live--
+			}
+		}
+
+		for i, r := range readers {
+			var ref Source = &chunkSource{instrs: stream}
+			if r.limit > 0 || r.src != Source(r.inner) {
+				ref = NewLimit(ref, r.limit)
+			}
+			replay(t, fmt.Sprintf("trial %d reader %d (limit %d)", trial, i, r.limit), ref, r.log)
+		}
+	}
+}
+
+// TestFanoutWindowBounded pins the memory contract: readers advanced in
+// near-lockstep keep the retained window within a couple of fill chunks
+// plus the compaction hysteresis, independent of stream length.
+func TestFanoutWindowBounded(t *testing.T) {
+	stream := synthStream(21, 40_000, true)
+	f := NewFanout(&chunkSource{instrs: stream})
+	rs := []*FanoutReader{f.NewReader(), f.NewReader(), f.NewReader()}
+	liveCount := len(rs)
+	for liveCount > 0 {
+		for _, r := range rs {
+			if r.Consumed() < 0 { // detached
+				continue
+			}
+			if _, err := r.NextBlock(nil, 8); err != nil {
+				r.Detach()
+				liveCount--
+			}
+		}
+	}
+	bound := fanoutCompactMin + 2*fanoutFillMax + 64
+	if f.MaxWindow() > bound {
+		t.Fatalf("window high-water %d exceeds bound %d for lockstep readers over %d instrs",
+			f.MaxWindow(), bound, len(stream))
+	}
+}
+
+// TestFanoutDetachReleasesWindow pins detach semantics: a straggler pins
+// the window until it detaches; afterwards the leader can run the stream
+// out without unbounded growth, and advancing the detached reader panics
+// rather than silently reading a moved window.
+func TestFanoutDetachReleasesWindow(t *testing.T) {
+	stream := synthStream(33, 30_000, false)
+	f := NewFanout(&chunkSource{instrs: stream})
+	straggler, leader := f.NewReader(), f.NewReader()
+
+	for leader.Consumed() < 5_000 {
+		if _, err := leader.NextBlock(nil, 8); err != nil {
+			t.Fatal("stream ended early")
+		}
+	}
+	if got := f.Window(); got < 5_000-fanoutFillMax {
+		t.Fatalf("straggler at 0 should pin the window, got %d retained", got)
+	}
+	straggler.Detach()
+	straggler.Detach() // idempotent
+	for {
+		if _, err := leader.NextBlock(nil, 8); err != nil {
+			break
+		}
+	}
+	if got := f.Window(); got > fanoutCompactMin+2*fanoutFillMax {
+		t.Fatalf("window %d still pinned after detach", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("advancing a detached reader did not panic")
+		}
+	}()
+	straggler.Next()
+}
