@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race audit vet check obs-smoke ff-smoke serve-smoke batch-smoke cover
+.PHONY: all build lint lint-strict test race audit vet check obs-smoke ff-smoke serve-smoke batch-smoke cover
 
 all: check
 
@@ -10,10 +10,18 @@ build:
 	$(GO) build ./...
 
 # lint runs the simulator's custom static-analysis suite (cmd/simlint):
-# determinism, clock/randomness hygiene, float equality, cache-key schema.
-# Suppress a finding with `//lint:allow <reason>` — see DESIGN.md.
+# determinism, clock/randomness hygiene, float equality, cache-key schema,
+# context threading, lock discipline, goroutine lifecycle, and fingerprint
+# purity. Suppress a finding with `//lint:allow <reason>` — see DESIGN.md.
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+# lint-strict is the CI invocation: the full suite over both the default
+# and the audit-tagged file sets, with stale //lint:allow directives
+# escalated to blocking findings.
+lint-strict:
+	$(GO) run ./cmd/simlint -strict ./...
+	$(GO) run ./cmd/simlint -strict -tags audit ./...
 
 test:
 	$(GO) test ./...
@@ -122,4 +130,4 @@ cover:
 	$(GO) test -count=1 -coverprofile=/tmp/frontsim-cover.out -covermode=atomic ./internal/...
 	$(GO) tool cover -func=/tmp/frontsim-cover.out | tail -1
 
-check: vet build lint race audit obs-smoke ff-smoke serve-smoke batch-smoke
+check: vet build lint-strict race audit obs-smoke ff-smoke serve-smoke batch-smoke

@@ -1,21 +1,32 @@
 // Command simlint runs the simulator's custom static-analysis suite (see
 // internal/analysis): determinism, clock- and randomness-hygiene, float
-// comparison, and cache-key schema checks that go vet cannot express.
+// comparison, cache-key schema, context-threading, lock-discipline,
+// goroutine-lifecycle and fingerprint-purity checks that go vet cannot
+// express.
 //
 // Usage:
 //
 //	simlint ./...                      # whole module (the CI invocation)
 //	simlint ./internal/ftq ./cmd/...   # specific packages or subtrees
 //	simlint -analyzers detmap,floateq ./...
+//	simlint -tags audit ./...          # lint the audit-tagged file set
+//	simlint -json ./...                # machine-readable findings
+//	simlint -strict ./...              # stale //lint:allow directives block
 //	simlint -list                      # describe the suite
 //
-// Exit status is 1 when any diagnostic is reported. Suppress a finding
-// with `//lint:allow <reason>` on the flagged line or the line above.
+// Exit status is 1 when any blocking finding is reported. Suppress a
+// finding with `//lint:allow <reason>` on the flagged line or the line
+// above. A directive that suppresses nothing is itself reported — as a
+// warning by default, as a blocking finding under -strict — but only on
+// full-suite runs: a -analyzers subset cannot tell a stale directive from
+// one aimed at an analyzer that was not run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,9 +35,12 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list the analyzers and exit")
-		names = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
-		dir   = flag.String("C", ".", "module root to analyze")
+		list   = flag.Bool("list", false, "list the analyzers and exit")
+		names  = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		dir    = flag.String("C", ".", "module root to analyze")
+		tags   = flag.String("tags", "", "comma-separated build tags, like go build -tags")
+		asJSON = flag.Bool("json", false, "emit findings as a JSON array instead of text")
+		strict = flag.Bool("strict", false, "treat stale //lint:allow directives as blocking findings")
 	)
 	flag.Parse()
 
@@ -37,7 +51,8 @@ func main() {
 		}
 		return
 	}
-	if *names != "" {
+	fullSuite := *names == ""
+	if !fullSuite {
 		suite = suite[:0]
 		for _, name := range strings.Split(*names, ",") {
 			a := analysis.ByName(strings.TrimSpace(name))
@@ -53,36 +68,110 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := run(*dir, patterns, suite)
+	diags, unused, err := run(*dir, patterns, suite, splitTags(*tags))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if !fullSuite {
+		unused = nil
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+	blocking := report(os.Stdout, diags, unused, *asJSON, *strict)
+	if blocking > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", blocking)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, patterns []string, suite []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+// run expands patterns and applies the suite, returning analyzer findings
+// and unused-suppression findings separately so the caller decides whether
+// the latter block.
+func run(dir string, patterns []string, suite []*analysis.Analyzer, tags []string) (diags, unused []analysis.Diagnostic, err error) {
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	loader.SetBuildTags(tags)
 	paths, err := loader.Expand(patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var diags []analysis.Diagnostic
 	for _, ip := range paths {
 		pkg, err := loader.Load(ip)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		diags = append(diags, analysis.RunAnalyzers(pkg, suite)...)
+		d, u := analysis.RunAnalyzersTracked(pkg, suite)
+		diags = append(diags, d...)
+		unused = append(unused, u...)
 	}
-	return diags, nil
+	return diags, unused, nil
+}
+
+// finding is the -json record shape. Severity "error" blocks (exit 1);
+// "warning" is informational.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Severity string `json:"severity"`
+}
+
+// report renders the findings to w — text lines or one JSON array — and
+// returns how many block. Analyzer diagnostics always block; unused
+// suppressions block only under strict.
+func report(w io.Writer, diags, unused []analysis.Diagnostic, asJSON, strict bool) int {
+	blocking := len(diags)
+	unusedSeverity := "warning"
+	if strict {
+		unusedSeverity = "error"
+		blocking += len(unused)
+	}
+	if asJSON {
+		records := make([]finding, 0, len(diags)+len(unused))
+		for _, d := range diags {
+			records = append(records, toFinding(d, "error"))
+		}
+		for _, d := range unused {
+			records = append(records, toFinding(d, unusedSeverity))
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+		}
+		return blocking
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	for _, d := range unused {
+		fmt.Fprintf(w, "%s (%s)\n", d, unusedSeverity)
+	}
+	return blocking
+}
+
+func toFinding(d analysis.Diagnostic, severity string) finding {
+	return finding{
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+		Severity: severity,
+	}
+}
+
+// splitTags parses the -tags value the way the go tool does: comma
+// separated, empty elements dropped.
+func splitTags(s string) []string {
+	var tags []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tags = append(tags, t)
+		}
+	}
+	return tags
 }

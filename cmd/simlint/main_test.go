@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"go/token"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"frontsim/internal/analysis"
@@ -28,25 +31,129 @@ func moduleRoot(t *testing.T) string {
 }
 
 // TestRepoIsLintClean is the acceptance gate: the full suite over the whole
-// module must report nothing. Any new finding either gets a real fix or a
-// reasoned //lint:allow — never a silent regression.
+// module must report nothing — including stale suppressions, so the strict
+// CI invocation cannot regress. Any new finding either gets a real fix or
+// a reasoned //lint:allow — never a silent regression.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
 	}
-	diags, err := run(moduleRoot(t), []string{"./..."}, analysis.All())
+	diags, unused, err := run(moduleRoot(t), []string{"./..."}, analysis.All(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
+	for _, d := range unused {
+		t.Errorf("stale suppression: %s", d)
+	}
+}
+
+// TestRepoIsLintCleanUnderAuditTag re-lints the tree with the audit tag
+// set, so the audit-only file set (force-enabled invariant checking) is
+// held to the same contracts as the default build.
+func TestRepoIsLintCleanUnderAuditTag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	diags, unused, err := run(moduleRoot(t), []string{"./..."}, analysis.All(), []string{"audit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	for _, d := range unused {
+		t.Errorf("stale suppression: %s", d)
+	}
 }
 
 // TestRunRejectsBadPattern pins the error (not panic) path for a pattern
 // that matches nothing resolvable.
 func TestRunRejectsBadPattern(t *testing.T) {
-	if _, err := run(moduleRoot(t), []string{"./nonexistent/..."}, analysis.All()); err == nil {
+	if _, _, err := run(moduleRoot(t), []string{"./nonexistent/..."}, analysis.All(), nil); err == nil {
 		t.Fatal("run accepted a pattern matching no packages")
+	}
+}
+
+func sampleDiags() (diags, unused []analysis.Diagnostic) {
+	diags = []analysis.Diagnostic{{
+		Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+		Analyzer: "detmap",
+		Message:  "map iteration order leaks",
+	}}
+	unused = []analysis.Diagnostic{{
+		Pos:      token.Position{Filename: "b.go", Line: 9, Column: 1},
+		Analyzer: analysis.UnusedAllowName,
+		Message:  "//lint:allow x suppresses nothing; remove the stale directive",
+	}}
+	return diags, unused
+}
+
+// TestReportJSON pins the machine-readable shape: one array, one record
+// per finding, severity distinguishing blocking from informational.
+func TestReportJSON(t *testing.T) {
+	diags, unused := sampleDiags()
+	var sb strings.Builder
+	blocking := report(&sb, diags, unused, true, false)
+	if blocking != 1 {
+		t.Fatalf("blocking = %d, want 1 (unused suppressions do not block by default)", blocking)
+	}
+	var records []finding
+	if err := json.Unmarshal([]byte(sb.String()), &records); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	want := finding{File: "a.go", Line: 3, Col: 7, Analyzer: "detmap",
+		Message: "map iteration order leaks", Severity: "error"}
+	if records[0] != want {
+		t.Errorf("diagnostic record = %+v, want %+v", records[0], want)
+	}
+	if records[1].Analyzer != analysis.UnusedAllowName || records[1].Severity != "warning" {
+		t.Errorf("unused record = %+v, want analyzer %q severity \"warning\"",
+			records[1], analysis.UnusedAllowName)
+	}
+}
+
+// TestReportStrict pins that -strict escalates stale suppressions to
+// blocking errors, in both output modes.
+func TestReportStrict(t *testing.T) {
+	diags, unused := sampleDiags()
+	var sb strings.Builder
+	if blocking := report(&sb, diags, unused, true, true); blocking != 2 {
+		t.Fatalf("strict blocking = %d, want 2", blocking)
+	}
+	var records []finding
+	if err := json.Unmarshal([]byte(sb.String()), &records); err != nil {
+		t.Fatal(err)
+	}
+	if records[1].Severity != "error" {
+		t.Errorf("strict unused severity = %q, want \"error\"", records[1].Severity)
+	}
+	sb.Reset()
+	if blocking := report(&sb, nil, unused, false, false); blocking != 0 {
+		t.Errorf("default blocking = %d, want 0", blocking)
+	}
+	if !strings.Contains(sb.String(), "(warning)") {
+		t.Errorf("text mode must mark non-blocking findings: %q", sb.String())
+	}
+}
+
+// TestEmptyJSONOutput pins that a clean run still emits a valid (empty)
+// JSON array, so downstream tooling never special-cases success.
+func TestEmptyJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	if blocking := report(&sb, nil, nil, true, true); blocking != 0 {
+		t.Fatalf("blocking = %d, want 0", blocking)
+	}
+	var records []finding
+	if err := json.Unmarshal([]byte(sb.String()), &records); err != nil {
+		t.Fatalf("clean run output is not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(records) != 0 {
+		t.Fatalf("clean run emitted %d records", len(records))
 	}
 }

@@ -9,6 +9,10 @@ func All() []*Analyzer {
 		Norand,
 		Floateq,
 		Statsjson,
+		Ctxflow,
+		Lockdisc,
+		Fpexclude,
+		Goroleak,
 	}
 }
 

@@ -65,6 +65,36 @@ func TestStatsjsonOnlyAppliesToCore(t *testing.T) {
 	atest.RunFiltered(t, fixture("statsjson", "bad"), "frontsim/internal/ftq", analysis.Statsjson)
 }
 
+func TestCtxflowFixture(t *testing.T) {
+	atest.Run(t, fixture("ctxflow", "generic"), "frontsim/examples/demo", analysis.Ctxflow)
+}
+
+func TestCtxflowStrictRootBan(t *testing.T) {
+	// Inside the run/request-path package set, minting a root context is
+	// banned even in functions that receive no ctx.
+	atest.Run(t, fixture("ctxflow", "strict"), "frontsim/internal/serve", analysis.Ctxflow)
+}
+
+func TestLockdiscFixture(t *testing.T) {
+	atest.Run(t, fixture("lockdisc"), "frontsim/internal/serve", analysis.Lockdisc)
+}
+
+func TestGoroleakFixture(t *testing.T) {
+	atest.Run(t, fixture("goroleak"), "frontsim/internal/serve", analysis.Goroleak)
+}
+
+func TestFpexcludeFailingFixture(t *testing.T) {
+	atest.Run(t, fixture("fpexclude", "bad"), "frontsim/internal/core", analysis.Fpexclude)
+}
+
+func TestFpexcludePassingFixture(t *testing.T) {
+	atest.Run(t, fixture("fpexclude", "good"), "frontsim/internal/core", analysis.Fpexclude)
+}
+
+func TestFpexcludeOnlyAppliesToKnobPackages(t *testing.T) {
+	atest.RunFiltered(t, fixture("fpexclude", "bad"), "frontsim/internal/ftq", analysis.Fpexclude)
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range analysis.All() {
 		if analysis.ByName(a.Name) != a {

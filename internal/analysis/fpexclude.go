@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fpexclude enforces the fingerprint-neutrality contract on the two knob
+// structs whose serialized form keys the run cache: core.Config and
+// experiment.Params. A field excluded from serialization (json:"-") never
+// reaches Fingerprint(), so the cache will happily serve one setting's
+// results for another — which is only sound if the field provably cannot
+// change results. The contract makes that proof explicit: every excluded
+// field must appear in the package's FingerprintNeutral registry, mapped
+// to the equivalence test that pins byte-identical results across its
+// settings, and that test must actually exist. A new field that is
+// neither fingerprinted nor registered is a compile-gate error, not a
+// latent cache-poisoning bug.
+//
+// Registry form (package scope, same package as the struct):
+//
+//	var FingerprintNeutral = map[string]string{
+//	    "Audit": "TestAuditCleanRun",               // test in this package
+//	    "Cache": "internal/core.TestSomething",     // test elsewhere in the module
+//	}
+var Fpexclude = &Analyzer{
+	Name: "fpexclude",
+	Doc:  "every fingerprint-excluded Config/Params field is registered as neutral and named by an existing equivalence test",
+	Applies: func(importPath string) bool {
+		return fpexcludeTarget(importPath) != ""
+	},
+	Run: runFpexclude,
+}
+
+// fpexcludeTargets maps the determinism-owning packages to the struct the
+// neutrality registry must cover.
+var fpexcludeTargets = []struct {
+	suffix string
+	typ    string
+}{
+	{"internal/core", "Config"},
+	{"internal/experiment", "Params"},
+}
+
+// neutralityRegistryName is the required package-scope registry variable.
+const neutralityRegistryName = "FingerprintNeutral"
+
+func fpexcludeTarget(importPath string) string {
+	for _, t := range fpexcludeTargets {
+		if strings.HasSuffix(importPath, t.suffix) {
+			return t.typ
+		}
+	}
+	return ""
+}
+
+func fpexcludeSuffix(importPath string) string {
+	for _, t := range fpexcludeTargets {
+		if strings.HasSuffix(importPath, t.suffix) {
+			return t.suffix
+		}
+	}
+	return ""
+}
+
+// regEntry is one parsed registry pair.
+type regEntry struct {
+	test string
+	pos  token.Pos
+}
+
+func runFpexclude(pass *Pass) {
+	structName := fpexcludeTarget(pass.ImportPath)
+	if structName == "" {
+		return
+	}
+
+	var fields []fieldInfo
+	var structPos token.Pos
+	var reg *ast.CompositeLit
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.TypeSpec:
+				if d.Name.Name == structName {
+					if st, ok := d.Type.(*ast.StructType); ok {
+						fields = structFields(st)
+						structPos = d.Pos()
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range d.Names {
+					if name.Name == neutralityRegistryName && i < len(d.Values) {
+						if cl, ok := d.Values[i].(*ast.CompositeLit); ok {
+							reg = cl
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	anchor := pass.Files[0].Name.Pos()
+	if structPos == token.NoPos {
+		pass.Reportf(anchor, "package must declare the %s struct whose fingerprint exclusions fpexclude audits", structName)
+		return
+	}
+
+	entries := map[string]regEntry{}
+	if reg != nil {
+		for _, elt := range reg.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				pass.Reportf(elt.Pos(), "%s entries must be literal \"Field\": \"TestName\" pairs so the contract is auditable without executing code", neutralityRegistryName)
+				continue
+			}
+			key, kok := stringLit(kv.Key)
+			val, vok := stringLit(kv.Value)
+			if !kok || !vok {
+				pass.Reportf(kv.Pos(), "%s entries must be literal \"Field\": \"TestName\" pairs so the contract is auditable without executing code", neutralityRegistryName)
+				continue
+			}
+			entries[key] = regEntry{test: val, pos: kv.Pos()}
+		}
+	}
+
+	byName := map[string]fieldInfo{}
+	for _, fld := range fields {
+		byName[fld.name] = fld
+	}
+
+	// 1. Every excluded field is registered with an existing equivalence test.
+	for _, fld := range fields {
+		if !fld.jsonSkip {
+			continue
+		}
+		entry, ok := entries[fld.name]
+		if !ok {
+			if reg == nil {
+				pass.Reportf(fld.pos, "%s.%s is fingerprint-excluded (json:\"-\") but the package declares no %s registry: add one naming the equivalence test that proves the field byte-neutral", structName, fld.name, neutralityRegistryName)
+			} else {
+				pass.Reportf(fld.pos, "%s.%s is fingerprint-excluded (json:\"-\") but not registered in %s: register it with the equivalence test that proves it byte-neutral", structName, fld.name, neutralityRegistryName)
+			}
+			continue
+		}
+		checkNeutralityTest(pass, entry)
+	}
+
+	// 2. No stale or contradictory registry entries.
+	for _, entry := range sortedEntries(entries) {
+		fld, ok := byName[entry.key]
+		switch {
+		case !ok:
+			pass.Reportf(entry.pos, "%s entry %q matches no %s field; remove the stale entry", neutralityRegistryName, entry.key, structName)
+		case !fld.jsonSkip:
+			pass.Reportf(entry.pos, "%s entry %q covers a field that is serialized into the fingerprint; a registered field must carry json:\"-\"", neutralityRegistryName, entry.key)
+		}
+	}
+
+	// 3. Fields whose type cannot be canonically serialized (func, chan,
+	// interface) must be excluded — json.Marshal would either error or
+	// produce unstable bytes, silently corrupting the cache key.
+	if obj := pass.Pkg.Scope().Lookup(structName); obj != nil {
+		if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				tf := st.Field(i)
+				fld, ok := byName[tf.Name()]
+				if !ok || fld.jsonSkip {
+					continue
+				}
+				switch tf.Type().Underlying().(type) {
+				case *types.Signature, *types.Chan, *types.Interface:
+					pass.Reportf(fld.pos, "%s.%s has a type that cannot be canonically serialized into the fingerprint; tag it json:\"-\" and register it in %s", structName, tf.Name(), neutralityRegistryName)
+				}
+			}
+		}
+	}
+}
+
+// sortedEntry pairs a registry key with its entry for deterministic
+// iteration (the analyzer itself must satisfy detmap's spirit).
+type sortedEntry struct {
+	key string
+	regEntry
+}
+
+func sortedEntries(m map[string]regEntry) []sortedEntry {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]sortedEntry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, sortedEntry{key: k, regEntry: m[k]})
+	}
+	return out
+}
+
+// checkNeutralityTest verifies the registered test name is a real test
+// function: "TestX"/"FuzzX" in this package's _test.go files, or
+// "path/to/pkg.TestX" elsewhere in the module.
+func checkNeutralityTest(pass *Pass, entry regEntry) {
+	name := entry.test
+	dir := pass.Dir
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		qualDir, base := name[:i], name[i+1:]
+		suffix := fpexcludeSuffix(pass.ImportPath)
+		root := strings.TrimSuffix(filepath.ToSlash(pass.Dir), suffix)
+		if root == filepath.ToSlash(pass.Dir) {
+			pass.Reportf(entry.pos, "cannot resolve cross-package equivalence test %q from this package's directory layout", name)
+			return
+		}
+		dir = filepath.Join(filepath.FromSlash(root), filepath.FromSlash(qualDir))
+		name = base
+	}
+	if !strings.HasPrefix(name, "Test") && !strings.HasPrefix(name, "Fuzz") {
+		pass.Reportf(entry.pos, "%q is not a test function name; the registry must point at the Test/Fuzz function that pins byte-neutrality", entry.test)
+		return
+	}
+	if !testFunctionExists(dir, name) {
+		pass.Reportf(entry.pos, "registered equivalence test %q does not exist under %s; the neutrality claim is unproven", entry.test, dir)
+	}
+}
+
+// testFunctionExists syntactically scans dir's _test.go files for a
+// top-level function with the given name.
+func testFunctionExists(dir, name string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stringLit unquotes a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

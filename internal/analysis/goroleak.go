@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroleak requires every `go` statement to be tied to a join or cancel
+// mechanism the spawner can reach: a context.Context (argument or
+// captured), a sync.WaitGroup, or channel discipline (the goroutine sends,
+// receives, closes, or ranges — so someone is coordinating with it). A
+// goroutine with none of these can outlive the work that spawned it, and
+// in a simulator whose correctness harnesses compare byte-identical
+// end-states, a straggler writing into shared state after the comparison
+// point is a heisenbug factory. Fire-and-forget goroutines with an
+// out-of-band lifecycle proof carry a //lint:allow.
+var Goroleak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement is tied to a join/cancel mechanism: ctx, WaitGroup, or channel discipline",
+	Run:  runGoroleak,
+}
+
+func runGoroleak(pass *Pass) {
+	// Index same-package function declarations so `go pkg.fn()` can be
+	// judged by fn's body, not just its signature.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroTiedCall(pass, decls, g.Call) {
+				pass.Reportf(g.Pos(), "goroutine has no join or cancel tie (no ctx, WaitGroup, or channel discipline); tie its lifecycle or //lint:allow with the proof")
+			}
+			return true
+		})
+	}
+}
+
+func goroTiedCall(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) bool {
+	// A context argument ties the goroutine to its caller's lifetime.
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return goroTiedBody(pass, lit.Body)
+	}
+	fn := calleeFunc(pass, call.Fun)
+	if fn == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sigHasContext(sig) {
+		return true
+	}
+	if fd := decls[fn]; fd != nil {
+		return goroTiedBody(pass, fd.Body)
+	}
+	// Cross-package target with no ctx in its signature: nothing provable.
+	return false
+}
+
+// goroTiedBody reports whether the goroutine's body shows a lifecycle tie:
+// it touches a context, a WaitGroup, or performs any channel operation.
+func goroTiedBody(pass *Pass, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass, v.X) {
+				tied = true
+			}
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					tied = true
+				}
+			}
+		case ast.Expr:
+			if tv, ok := pass.TypesInfo.Types[v]; ok && tv.Type != nil {
+				if isContextType(tv.Type) || isWaitGroup(tv.Type) {
+					tied = true
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup (or a pointer to one).
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

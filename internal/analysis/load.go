@@ -79,6 +79,15 @@ func NewLoader(dir string) (*Loader, error) {
 // Fset returns the shared file set positions resolve against.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// SetBuildTags sets the build tags file constraints are evaluated under,
+// exactly like `go build -tags`: a file behind `//go:build audit` is
+// loaded (and linted) only when "audit" is among the tags, and its
+// `//go:build !audit` counterpart only when it is not. Call before any
+// Load — packages memoize the file set they were first loaded with.
+func (l *Loader) SetBuildTags(tags []string) {
+	l.ctx.BuildTags = append([]string(nil), tags...)
+}
+
 // Import implements types.Importer over the union of the module tree and
 // the standard library.
 func (l *Loader) Import(path string) (*types.Package, error) {

@@ -1,0 +1,88 @@
+package analysis_test
+
+import (
+	"go/constant"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"frontsim/internal/analysis"
+)
+
+// newLoader builds a loader rooted at the module (tests run with the
+// package directory as cwd).
+func newLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	l, err := analysis.NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	return l
+}
+
+// loadTagFixture loads the build-tag fixture under the given tags and
+// returns the loaded file basenames plus the Mode constant's value.
+func loadTagFixture(t *testing.T, tags []string) (map[string]bool, string) {
+	t.Helper()
+	l := newLoader(t)
+	if tags != nil {
+		l.SetBuildTags(tags)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "tags"), "frontsim/internal/tagfix")
+	if err != nil {
+		t.Fatalf("loading tag fixture: %v", err)
+	}
+	files := make(map[string]bool)
+	for _, f := range pkg.Files {
+		files[filepath.Base(pkg.Fset.Position(f.Pos()).Filename)] = true
+	}
+	obj, ok := pkg.Types.Scope().Lookup("Mode").(*types.Const)
+	if !ok {
+		t.Fatalf("tag fixture lost the Mode constant (files: %v)", files)
+	}
+	return files, constant.StringVal(obj.Val())
+}
+
+func TestLoaderBuildTagFiltering(t *testing.T) {
+	files, mode := loadTagFixture(t, nil)
+	if !files["base.go"] || !files["audit_off.go"] || files["audit_on.go"] {
+		t.Errorf("default tags loaded wrong file set: %v", files)
+	}
+	if mode != "noaudit" {
+		t.Errorf("default tags: Mode = %q, want noaudit", mode)
+	}
+
+	files, mode = loadTagFixture(t, []string{"audit"})
+	if !files["base.go"] || !files["audit_on.go"] || files["audit_off.go"] {
+		t.Errorf("-tags audit loaded wrong file set: %v", files)
+	}
+	if mode != "audit" {
+		t.Errorf("-tags audit: Mode = %q, want audit", mode)
+	}
+}
+
+// TestUnusedSuppressionTracking pins the stale-directive report: a
+// //lint:allow that silences a real diagnostic is used; one that silences
+// nothing is reported under the unusedallow pseudo-analyzer.
+func TestUnusedSuppressionTracking(t *testing.T) {
+	l := newLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "unusedallow"), "frontsim/internal/stats")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, unused := analysis.RunAnalyzersTracked(pkg, analysis.All())
+	if len(diags) != 0 {
+		t.Fatalf("fixture should lint clean (the float compare is suppressed), got %v", diags)
+	}
+	if len(unused) != 1 {
+		t.Fatalf("want exactly 1 stale directive, got %v", unused)
+	}
+	u := unused[0]
+	if u.Analyzer != analysis.UnusedAllowName {
+		t.Errorf("stale directive reported under %q, want %q", u.Analyzer, analysis.UnusedAllowName)
+	}
+	if want := "stale on purpose"; !strings.Contains(u.Message, want) {
+		t.Errorf("stale report %q does not quote the directive reason %q", u.Message, want)
+	}
+}

@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Lockdisc enforces mutex discipline over sync.Mutex / sync.RWMutex:
+// every Lock/RLock must be released on all paths — by a defer or a
+// provably-paired Unlock — and the critical section must not perform a
+// potentially-unbounded wait while the lock is held: no channel send or
+// receive, no blocking select, no Wait (sync.Cond.Wait excepted — it
+// releases the lock), no sleep, no I/O.
+//
+// The pairing model is source-ordered and per-function-body: a Lock pairs
+// with the first matching Unlock after it (or a defer, or — for
+// bottom-of-loop re-lock patterns like a worker's unlock-around-run — an
+// earlier Unlock inside the innermost enclosing loop). Function literals
+// are separate bodies: a lock in one cannot be released in another.
+// Branch-dependent regions beyond the first unlock are not re-scanned;
+// the analyzer is deliberately conservative-incomplete rather than noisy.
+var Lockdisc = &Analyzer{
+	Name: "lockdisc",
+	Doc:  "every mutex lock is released on all paths and never held across a channel op, Wait, or I/O call",
+	Run:  runLockdisc,
+}
+
+// lockEvent is one Lock/Unlock-family call site.
+type lockEvent struct {
+	recv   string // rendered receiver expression, e.g. "p.mu"
+	method string // Lock, Unlock, RLock, RUnlock
+	pos    token.Pos
+	end    token.Pos
+}
+
+func runLockdisc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, body := range functionBodies(f) {
+			lockdiscBody(pass, body)
+		}
+	}
+}
+
+// functionBodies collects every function body in the file — FuncDecl and
+// FuncLit alike — each analyzed as an independent lock scope.
+func functionBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Body != nil {
+				out = append(out, v.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, v.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks root but does not descend into nested function
+// literals: their bodies run on their own schedule, not in this lock scope.
+func inspectShallow(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+func lockdiscBody(pass *Pass, body *ast.BlockStmt) {
+	var events []lockEvent // lock and unlock calls in source order
+	var defers []lockEvent // unlocks scheduled by defer (incl. in deferred closures)
+	var loops []ast.Stmt   // for/range statements, for wrap-around pairing
+	inspectShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, v.(ast.Stmt))
+		case *ast.DeferStmt:
+			if ev, ok := mutexOp(pass, v.Call); ok && isUnlock(ev.method) {
+				ev.pos = v.Pos()
+				defers = append(defers, ev)
+			}
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if ev, ok := mutexOp(pass, call); ok && isUnlock(ev.method) {
+							ev.pos = v.Pos()
+							defers = append(defers, ev)
+						}
+					}
+					return true
+				})
+			}
+			return false // a defer's effects happen at return, not here
+		case *ast.CallExpr:
+			if ev, ok := mutexOp(pass, v); ok {
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	for _, lk := range events {
+		if isUnlock(lk.method) {
+			continue
+		}
+		unlockName := "Unlock"
+		if lk.method == "RLock" {
+			unlockName = "RUnlock"
+		}
+
+		// Defer-released: critical section runs to the end of the body.
+		deferred := false
+		for _, d := range defers {
+			if d.recv == lk.recv && d.method == unlockName && d.pos > lk.pos {
+				deferred = true
+				break
+			}
+		}
+		if deferred {
+			scanHeld(pass, body, lk, lk.end, body.End(), false)
+			continue
+		}
+
+		// Paired: first matching unlock after the lock.
+		var until token.Pos
+		for _, u := range events {
+			if u.recv == lk.recv && u.method == unlockName && u.pos > lk.pos {
+				until = u.pos
+				break
+			}
+		}
+		if until != token.NoPos {
+			scanHeld(pass, body, lk, lk.end, until, true)
+			continue
+		}
+
+		// Bottom-of-loop re-lock: the matching unlock is at the top of the
+		// next iteration of the innermost enclosing loop.
+		if loop := innermostLoop(loops, lk.pos); loop != nil {
+			wrapped := false
+			for _, u := range events {
+				if u.recv == lk.recv && u.method == unlockName &&
+					u.pos >= loop.Pos() && u.pos < lk.pos {
+					wrapped = true
+					break
+				}
+			}
+			if wrapped {
+				scanHeld(pass, body, lk, lk.end, loop.End(), false)
+				continue
+			}
+		}
+		pass.Reportf(lk.pos, "%s.%s() is never released on some path; add defer %s.%s() or a paired %s", lk.recv, lk.method, lk.recv, unlockName, unlockName)
+	}
+}
+
+// innermostLoop returns the smallest loop statement whose span contains pos.
+func innermostLoop(loops []ast.Stmt, pos token.Pos) ast.Stmt {
+	var best ast.Stmt
+	for _, l := range loops {
+		if l.Pos() <= pos && pos < l.End() {
+			if best == nil || l.Pos() > best.Pos() {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// scanHeld reports blocking operations between start and end — the span the
+// lock is provably held. checkReturn additionally flags returns inside a
+// paired (non-defer) critical section, which leak the lock.
+func scanHeld(pass *Pass, body *ast.BlockStmt, lk lockEvent, start, end token.Pos, checkReturn bool) {
+	held := func(n ast.Node) bool { return n.Pos() > start && n.Pos() < end }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			// Not executed synchronously inside the critical section.
+			return false
+		case *ast.SelectStmt:
+			if held(v) {
+				if !selectHasDefault(v) {
+					pass.Reportf(v.Pos(), "blocking select while %s is held; release the lock first", lk.recv)
+				}
+				// A select's comm cases are its own (possibly non-blocking)
+				// protocol; don't re-flag them individually.
+				return false
+			}
+		case *ast.SendStmt:
+			if held(v) {
+				pass.Reportf(v.Pos(), "channel send while %s is held; release the lock first", lk.recv)
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && held(v) {
+				pass.Reportf(v.Pos(), "channel receive while %s is held; release the lock first", lk.recv)
+			}
+		case *ast.RangeStmt:
+			if held(v) && isChanType(pass, v.X) {
+				pass.Reportf(v.Pos(), "range over channel while %s is held; release the lock first", lk.recv)
+			}
+		case *ast.ReturnStmt:
+			if checkReturn && held(v) {
+				pass.Reportf(v.Pos(), "return while %s is held; unlock before returning or use defer", lk.recv)
+			}
+		case *ast.CallExpr:
+			if held(v) {
+				checkHeldCall(pass, v, lk)
+			}
+		}
+		return true
+	})
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ioPkgs are packages whose calls can block on the outside world.
+var ioPkgs = map[string]bool{
+	"os":       true,
+	"os/exec":  true,
+	"io":       true,
+	"io/fs":    true,
+	"bufio":    true,
+	"net":      true,
+	"net/http": true,
+}
+
+// ioExempt are ioPkgs functions that only read process-local state.
+var ioExempt = map[string]bool{
+	"Getenv":     true,
+	"LookupEnv":  true,
+	"Environ":    true,
+	"Getpid":     true,
+	"Getppid":    true,
+	"IsNotExist": true,
+	"IsExist":    true,
+}
+
+// checkHeldCall flags calls that can block unboundedly under a lock.
+func checkHeldCall(pass *Pass, call *ast.CallExpr, lk lockEvent) {
+	fn := calleeFunc(pass, call.Fun)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg := fn.Pkg().Path()
+	name := fn.Name()
+	if pkg == "sync" {
+		// sync.Cond.Wait releases the lock while it sleeps — that is the
+		// whole point of a condition variable — and the non-Wait sync calls
+		// (Broadcast, Signal, nested Lock) are bounded. sync.WaitGroup.Wait
+		// is NOT exempt: it blocks until goroutines that may need this very
+		// lock have finished.
+		if name != "Wait" || recvBaseName(fn) == "Cond" {
+			return
+		}
+		pass.Reportf(call.Pos(), "sync.%s.Wait while %s is held can deadlock against the goroutines being waited on; release the lock first", recvBaseName(fn), lk.recv)
+		return
+	}
+	switch {
+	case name == "Wait" || name == "WaitCtx":
+		pass.Reportf(call.Pos(), "%s while %s is held can deadlock against the goroutine that would unblock it; release the lock first", name, lk.recv)
+	case pkg == "time" && name == "Sleep":
+		pass.Reportf(call.Pos(), "time.Sleep while %s is held stalls every contender; release the lock first", lk.recv)
+	case ioPkgs[pkg] && !ioExempt[name]:
+		pass.Reportf(call.Pos(), "I/O call %s.%s while %s is held; release the lock first", pkg, name, lk.recv)
+	}
+}
+
+// mutexOp classifies call as a sync.Mutex / sync.RWMutex lock-family call.
+func mutexOp(pass *Pass, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockEvent{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockEvent{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockEvent{}, false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return lockEvent{}, false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return lockEvent{}, false
+	}
+	return lockEvent{
+		recv:   exprString(sel.X),
+		method: fn.Name(),
+		pos:    call.Pos(),
+		end:    call.End(),
+	}, true
+}
+
+func isUnlock(method string) bool { return method == "Unlock" || method == "RUnlock" }
+
+// recvBaseName is the receiver's named-type identifier ("Cond",
+// "WaitGroup"), or "" for plain functions.
+func recvBaseName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isChanType reports whether e's type is a channel.
+func isChanType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -24,7 +24,9 @@ import (
 //     the fingerprint stops distinguishing values of that field.
 //
 // Deliberately fingerprint-inert fields (pure observability toggles that
-// cannot change simulated results) carry a //lint:allow proof.
+// cannot change simulated results) are instead registered in the package's
+// FingerprintNeutral registry, where fpexclude verifies each one names an
+// existing equivalence test.
 var Statsjson = &Analyzer{
 	Name: "statsjson",
 	Doc:  "verifies every field behind canonical Stats JSON is covered by Config.Fingerprint()",
@@ -45,6 +47,7 @@ type fieldInfo struct {
 func runStatsjson(pass *Pass) {
 	structs := map[string][]fieldInfo{}
 	structPos := map[string]token.Pos{}
+	registered := map[string]bool{}
 	var fingerprintBody *ast.BlockStmt
 
 	for _, f := range pass.Files {
@@ -60,6 +63,24 @@ func runStatsjson(pass *Pass) {
 			case *ast.FuncDecl:
 				if d.Name.Name == "Fingerprint" && d.Recv != nil && recvTypeName(d.Recv) == "Config" {
 					fingerprintBody = d.Body
+				}
+			case *ast.ValueSpec:
+				// Fields in the FingerprintNeutral registry are audited by
+				// fpexclude (registration + existing equivalence test), so
+				// their exclusion from the fingerprint is proven, not drift.
+				for i, name := range d.Names {
+					if name.Name != neutralityRegistryName || i >= len(d.Values) {
+						continue
+					}
+					if cl, ok := d.Values[i].(*ast.CompositeLit); ok {
+						for _, elt := range cl.Elts {
+							if kv, ok := elt.(*ast.KeyValueExpr); ok {
+								if key, ok := stringLit(kv.Key); ok {
+									registered[key] = true
+								}
+							}
+						}
+					}
 				}
 			}
 			return true
@@ -106,7 +127,7 @@ func runStatsjson(pass *Pass) {
 		switch {
 		case !fld.exported:
 			pass.Reportf(fld.pos, "Config field %s is unexported: json.Marshal skips it, so configs differing only in %s share a fingerprint and collide in the run cache", fld.name, fld.name)
-		case fld.jsonSkip && !canonNames[strings.ToLower(fld.name)]:
+		case fld.jsonSkip && !canonNames[strings.ToLower(fld.name)] && !registered[fld.name]:
 			pass.Reportf(fld.pos, "Config field %s is excluded from serialization (json:\"-\") with no canonical %s field on configFingerprint: the fingerprint cannot distinguish its values", fld.name, fld.name)
 		}
 	}

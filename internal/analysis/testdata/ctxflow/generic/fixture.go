@@ -1,0 +1,74 @@
+// Package fixture exercises ctxflow's ctx-bearing-function rules outside
+// the strict root-ban package set (run under a pretend examples/ path).
+package fixture
+
+import "context"
+
+type worker struct{ busy bool }
+
+func (w *worker) Wait()                       { w.busy = false }
+func (w *worker) WaitCtx(ctx context.Context) { w.busy = false }
+
+func run()                       {}
+func runCtx(ctx context.Context) {}
+
+func freshRootOutsideRunPath() context.Context {
+	return context.Background() // ok: no ctx in scope and not a run-path package
+}
+
+func mintsRootDespiteCtx(ctx context.Context) context.Context {
+	return context.TODO() // want "severs the cancellation chain"
+}
+
+func dropsCtxMethod(ctx context.Context, w *worker) {
+	w.Wait() // want "drops the in-scope ctx; WaitCtx accepts one"
+}
+
+func threadsCtxMethod(ctx context.Context, w *worker) {
+	w.WaitCtx(ctx)
+}
+
+func dropsCtxFunc(ctx context.Context) {
+	run() // want "drops the in-scope ctx; runCtx accepts one"
+}
+
+func threadsCtxFunc(ctx context.Context) {
+	runCtx(ctx)
+}
+
+func blockingSelectNoDone(ctx context.Context, ch chan int) int {
+	select { // want "no case on ctx.Done"
+	case v := <-ch:
+		return v
+	}
+}
+
+func selectWithDone(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func selectWithDefault(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func closureInheritsCtx(ctx context.Context) {
+	f := func() context.Context {
+		return context.Background() // want "severs the cancellation chain"
+	}
+	f()
+}
+
+func suppressedRoot(ctx context.Context) context.Context {
+	//lint:allow detached on purpose: the background task outlives this request by design
+	return context.Background()
+}

@@ -1,0 +1,19 @@
+// Package fixture exercises ctxflow's root-context ban, which applies even
+// to ctx-less functions inside run/request-path packages (run under a
+// pretend internal/serve path).
+package fixture
+
+import "context"
+
+func startDetached() context.Context {
+	return context.Background() // want "mints a fresh root in a run/request-path package"
+}
+
+func startTODO() context.Context {
+	return context.TODO() // want "mints a fresh root in a run/request-path package"
+}
+
+func allowedDetached() context.Context {
+	//lint:allow flight context must outlive any one subscriber; the last one out cancels it
+	return context.Background()
+}

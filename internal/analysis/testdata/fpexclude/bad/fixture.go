@@ -1,0 +1,23 @@
+// Package fixture exercises every fpexclude failure mode: an excluded
+// field missing from the registry, a registry entry whose test does not
+// exist, a non-test registry value, a stale entry, an entry for a
+// serialized field, and a non-serializable field that is not excluded.
+package fixture
+
+type Config struct {
+	Name   string
+	Depth  int
+	Sneaky bool      `json:"-"` // want "not registered in FingerprintNeutral"
+	Tracer func(int) // want "cannot be canonically serialized"
+	Audit  bool      `json:"-"`
+	Legacy bool      `json:"-"`
+	Helper bool      `json:"-"`
+}
+
+var FingerprintNeutral = map[string]string{
+	"Audit":  "TestAuditNeutral",
+	"Legacy": "TestLegacyNeutral", // want "does not exist"
+	"Helper": "checkHelper",       // want "not a test function name"
+	"Ghost":  "TestGhostNeutral",  // want "matches no Config field"
+	"Name":   "TestNameNeutral",   // want "serialized into the fingerprint"
+}

@@ -1,0 +1,7 @@
+package fixture
+
+import "testing"
+
+// TestAuditNeutral exists so the "Audit" registry entry resolves; the
+// loader skips _test.go files, so fpexclude only parses this syntactically.
+func TestAuditNeutral(t *testing.T) {}

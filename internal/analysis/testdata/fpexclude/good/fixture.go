@@ -1,0 +1,15 @@
+// Package fixture is the clean side of the fpexclude contract: every
+// fingerprint-excluded field registered, every registered test real.
+package fixture
+
+type Config struct {
+	Name  string
+	Depth int
+	Audit bool `json:"-"`
+	Obs   bool `json:"-"`
+}
+
+var FingerprintNeutral = map[string]string{
+	"Audit": "TestAuditNeutral",
+	"Obs":   "TestObsNeutral",
+}

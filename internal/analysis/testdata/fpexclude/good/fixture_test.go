@@ -1,0 +1,7 @@
+package fixture
+
+import "testing"
+
+func TestAuditNeutral(t *testing.T) {}
+
+func TestObsNeutral(t *testing.T) {}

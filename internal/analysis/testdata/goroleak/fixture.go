@@ -1,0 +1,69 @@
+// Package fixture exercises goroleak: every go statement must show a
+// join/cancel tie — ctx, WaitGroup, or channel discipline.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func pump(ch chan int) {
+	defer close(ch)
+	ch <- 1
+}
+
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func leaksNamed() {
+	go spin() // want "no join or cancel tie"
+}
+
+func leaksClosure() {
+	go func() { // want "no join or cancel tie"
+		spin()
+	}()
+}
+
+func tiedByWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func tiedByChannelSend() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	return ch
+}
+
+func tiedByCtxArgument(ctx context.Context) {
+	go watch(ctx)
+}
+
+func tiedByCapturedCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func tiedNamedHelperViaBody() {
+	go pump(make(chan int))
+}
+
+func allowedFireAndForget() {
+	//lint:allow process-lifetime metrics flusher; exits with the program
+	go spin()
+}

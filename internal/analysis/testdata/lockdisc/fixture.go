@@ -1,0 +1,145 @@
+// Package fixture exercises lockdisc: release-on-all-paths pairing and the
+// no-blocking-while-held rules.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	n    int
+}
+
+func (g *guarded) deferred() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func (g *guarded) paired() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g *guarded) readLocked() int {
+	g.rw.RLock()
+	n := g.n
+	g.rw.RUnlock()
+	return n
+}
+
+func (g *guarded) neverReleased() {
+	g.mu.Lock() // want "never released"
+	g.n++
+}
+
+func (g *guarded) sendWhileHeld(ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want "channel send while g.mu is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) recvWhileHeld(ch chan int) {
+	g.mu.Lock()
+	g.n = <-ch // want "channel receive while g.mu is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) waitGroupWhileHeld(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while g.mu is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) sleepWhileHeld() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while g.mu is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) ioWhileHeld(path string) error {
+	g.mu.Lock()
+	_, err := os.ReadFile(path) // want "I/O call os.ReadFile while g.mu is held"
+	g.mu.Unlock()
+	return err
+}
+
+func (g *guarded) returnWhileHeld(fail bool) int {
+	g.mu.Lock()
+	if fail {
+		return -1 // want "return while g.mu is held"
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+func (g *guarded) selectWhileHeld(ch chan int) {
+	g.mu.Lock()
+	select { // want "blocking select while g.mu is held"
+	case v := <-ch:
+		g.n = v
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) nonBlockingSelectWhileHeld(ch chan int) {
+	g.mu.Lock()
+	select {
+	case v := <-ch:
+		g.n = v
+	default:
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) condLoop() {
+	g.mu.Lock()
+	for g.n == 0 {
+		g.cond.Wait() // ok: Cond.Wait releases the lock while asleep
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) workerLoop(jobs []func()) {
+	g.mu.Lock()
+	for {
+		if g.n >= len(jobs) {
+			g.mu.Unlock()
+			return
+		}
+		job := jobs[g.n]
+		g.n++
+		g.mu.Unlock()
+		job()
+		g.mu.Lock() // ok: released at the top of the next iteration
+	}
+}
+
+func (g *guarded) deferredClosureRelease() {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+	g.n++
+}
+
+func (g *guarded) closureEscapesCriticalSection(ch chan int) func() {
+	g.mu.Lock()
+	f := func() { ch <- 1 } // ok: runs later, outside the critical section
+	g.mu.Unlock()
+	return f
+}
+
+func (g *guarded) allowedSend(ch chan int) {
+	g.mu.Lock()
+	ch <- g.n //lint:allow ch is buffered with capacity == subscriber count, proven at construction
+	g.mu.Unlock()
+}

@@ -1,6 +1,6 @@
 // Package fixture is the passing statsjson case: every Config field is
-// serialized or canonically replaced, and every Stats field survives the
-// JSON round trip.
+// serialized, canonically replaced, or registered fingerprint-neutral, and
+// every Stats field survives the JSON round trip.
 package fixture
 
 // Prefetcher stands in for the frontend.InstrPrefetcher interface field.
@@ -11,6 +11,14 @@ type Config struct {
 	Depth    int
 	Prefetch Prefetcher
 	Triggers map[uint64][]uint64
+	// Tele is excluded with no canonical replacement, but its neutrality
+	// is registered below — fpexclude's territory, not schema drift.
+	Tele bool `json:"-"`
+}
+
+// FingerprintNeutral vouches for Tele; statsjson must defer to it.
+var FingerprintNeutral = map[string]string{
+	"Tele": "TestTeleNeutral",
 }
 
 type Stats struct {

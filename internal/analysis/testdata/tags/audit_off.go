@@ -1,0 +1,6 @@
+//go:build !audit
+
+package tagfix
+
+// Mode is the default definition.
+const Mode = "noaudit"

@@ -1,0 +1,6 @@
+//go:build audit
+
+package tagfix
+
+// Mode is the audit-tagged definition.
+const Mode = "audit"

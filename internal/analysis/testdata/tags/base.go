@@ -1,0 +1,7 @@
+// Package tagfix is the loader build-tag fixture: base.go always loads,
+// audit_on.go only under -tags audit, audit_off.go only without it. The
+// loader test asserts exactly which files (and which Mode value) are seen.
+package tagfix
+
+// Base is defined unconditionally.
+const Base = true

@@ -1,0 +1,15 @@
+// Package fixture carries one used and one stale //lint:allow directive
+// for the unused-suppression tracking test. This is not a // want fixture:
+// staleness is only computable after the whole suite has run, so the test
+// drives RunAnalyzersTracked directly.
+package fixture
+
+func exactZeroGuard(a, b float64) bool {
+	//lint:allow exact-zero sentinel guard; 0 is assigned, never computed
+	return a == 0 && b == 0
+}
+
+func cleanCode() int {
+	//lint:allow stale on purpose: this directive suppresses nothing
+	return 1
+}

@@ -56,7 +56,7 @@ type BatchResult struct {
 // FuzzBatchEquivalence). A member that finishes early (budget exhausted,
 // wedged, source drained) detaches and the rest continue.
 func RunBatch(members []BatchMember) []BatchResult {
-	return RunBatchCtx(context.Background(), members)
+	return RunBatchCtx(context.Background(), members) //lint:allow ctx-less wrapper by contract: callers with a lifetime use RunBatchCtx
 }
 
 // RunBatchCtx is RunBatch with cooperative cancellation; each member

@@ -44,14 +44,14 @@ type Config struct {
 	// pure observation — it cannot change simulated results — so it is
 	// excluded from the fingerprint and audited and unaudited runs share
 	// cache entries. The `audit` build tag forces it on for every run.
-	Audit bool `json:"-"` //lint:allow auditing is observational only; identical results with it on or off is itself audited by TestAuditCleanRun
+	Audit bool `json:"-"`
 	// Obs, when non-nil, attaches an observability sink: a per-cycle
 	// time-series sampler (at the sink's stride) plus structured front-end
 	// events, threaded through the FTQ, fill engine and L1-I. Observation
 	// is strictly read-only — simulated results are bit-identical with it
 	// on or off — so, like Audit, it is excluded from the fingerprint and
 	// observed and unobserved runs share cache entries.
-	Obs obs.Sink `json:"-"` //lint:allow observation is read-only; identical results with a sink attached or not is pinned by TestObsObservational
+	Obs obs.Sink `json:"-"`
 	// FastForward enables the event-driven cycle-skipping fast path: when
 	// the machine provably cannot change state before a known future cycle
 	// (NextEventCycle), Run advances there in one jump, bulk-updating the
@@ -61,7 +61,7 @@ type Config struct {
 	// TestFastForwardEquivalence and FuzzFastForwardEquivalence — and,
 	// like Audit and Obs, it is excluded from the fingerprint:
 	// fast-forwarded and cycle-stepped runs share run-cache entries.
-	FastForward bool `json:"-"` //lint:allow the fast path is results-invariant; byte-identical Stats with it on or off is pinned by TestFastForwardEquivalence and FuzzFastForwardEquivalence
+	FastForward bool `json:"-"`
 }
 
 // DefaultConfig returns the Table I machine with the industry-standard
@@ -302,9 +302,11 @@ func (s *Sim) sample() {
 }
 
 // Run simulates until MaxInstrs program instructions retire after warmup,
-// or the source drains. It returns the measured statistics.
+// or the source drains. It returns the measured statistics. Run is the
+// non-cancellable compatibility surface; anything that can be abandoned
+// (the serve layer, batch members) calls RunCtx.
 func (s *Sim) Run() (Stats, error) {
-	return s.RunCtx(context.Background())
+	return s.RunCtx(context.Background()) //lint:allow ctx-less wrapper by contract: callers with a lifetime use RunCtx
 }
 
 // cancelCheckInterval bounds how stale a cancellation can go unnoticed in
@@ -456,9 +458,10 @@ func (s *Sim) snapshot() Stats {
 // the cycle count, occupancy bounds hold, and so on).
 func (s *Sim) Snapshot() Stats { return s.snapshot() }
 
-// RunSource is a convenience: build a Sim over src and run it.
+// RunSource is a convenience: build a Sim over src and run it. Like Run,
+// it is the non-cancellable compatibility surface over RunSourceCtx.
 func RunSource(cfg Config, src trace.Source) (Stats, error) {
-	return RunSourceCtx(context.Background(), cfg, src)
+	return RunSourceCtx(context.Background(), cfg, src) //lint:allow ctx-less wrapper by contract: callers with a lifetime use RunSourceCtx
 }
 
 // RunSourceCtx is RunSource with cooperative cancellation (see RunCtx).

@@ -1,0 +1,15 @@
+package core
+
+// FingerprintNeutral is the fingerprint-neutrality registry the fpexclude
+// analyzer cross-checks against Config's struct tags: every field excluded
+// from serialization (json:"-") — and therefore invisible to
+// Fingerprint() and the run-cache key — must be listed here, mapped to the
+// equivalence test that pins byte-identical results across its settings.
+// A field that is neither fingerprinted nor registered fails `make lint`;
+// TestFingerprintNeutralRegistryMirrorsTags keeps the registry and the
+// tags from drifting apart at test time too.
+var FingerprintNeutral = map[string]string{
+	"Audit":       "TestAuditCleanRun",
+	"Obs":         "TestObsObservational",
+	"FastForward": "TestFastForwardRunByteIdentical",
+}

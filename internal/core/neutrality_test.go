@@ -1,0 +1,31 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFingerprintNeutralRegistryMirrorsTags pins the two-way contract
+// fpexclude enforces statically: every json:"-" Config field is registered
+// as neutral, and every registry entry names a real excluded field.
+func TestFingerprintNeutralRegistryMirrorsTags(t *testing.T) {
+	typ := reflect.TypeOf(Config{})
+	excluded := map[string]bool{}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Tag.Get("json") != "-" {
+			continue
+		}
+		excluded[f.Name] = true
+		if test, ok := FingerprintNeutral[f.Name]; !ok {
+			t.Errorf("Config.%s is fingerprint-excluded (json:\"-\") but missing from FingerprintNeutral", f.Name)
+		} else if test == "" {
+			t.Errorf("Config.%s is registered without an equivalence test", f.Name)
+		}
+	}
+	for name := range FingerprintNeutral {
+		if !excluded[name] {
+			t.Errorf("FingerprintNeutral entry %q does not match a json:\"-\" Config field", name)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFingerprintNeutralRegistryMirrorsTags is the Params twin of the
+// internal/core test: the json:"-" tag set and the neutrality registry
+// must be the same set of fields.
+func TestFingerprintNeutralRegistryMirrorsTags(t *testing.T) {
+	typ := reflect.TypeOf(Params{})
+	excluded := map[string]bool{}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Tag.Get("json") != "-" {
+			continue
+		}
+		excluded[f.Name] = true
+		if test, ok := FingerprintNeutral[f.Name]; !ok {
+			t.Errorf("Params.%s is fingerprint-excluded (json:\"-\") but missing from FingerprintNeutral", f.Name)
+		} else if test == "" {
+			t.Errorf("Params.%s is registered without an equivalence test", f.Name)
+		}
+	}
+	for name := range FingerprintNeutral {
+		if !excluded[name] {
+			t.Errorf("FingerprintNeutral entry %q does not match a json:\"-\" Params field", name)
+		}
+	}
+}

@@ -249,7 +249,7 @@ func (g *Group) Wait() error {
 // join leaves no orphan task that could later write into shared state.
 func (g *Group) WaitCtx(ctx context.Context) error {
 	if ctx.Done() == nil {
-		return g.Wait()
+		return g.Wait() //lint:allow ctx can never fire (Done() is nil); the plain join is the fast path
 	}
 	p := g.p
 	// Wake the cond loop when ctx fires; cond.Wait cannot watch a channel.

@@ -184,7 +184,7 @@ func (c *Client) backoff(i int, last error) time.Duration {
 	if c.rng == nil {
 		seed := c.Seed
 		if seed == 0 {
-			seed = 0x5e17e_c11e47 //lint:allow fixed default jitter seed
+			seed = 0x5e17e_c11e47
 		}
 		c.rng = xrand.New(seed)
 	}

@@ -48,7 +48,10 @@ func ListenAndServe(ctx context.Context, srv *http.Server, ln net.Listener, shut
 		return err
 	case <-ctx.Done():
 	}
-	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	// ctx is already done here — deriving the shutdown deadline from it
+	// directly would expire immediately — so detach its cancellation but
+	// keep its values, and bound the shutdown with a fresh timeout.
+	sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		_ = srv.Close()

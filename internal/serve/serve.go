@@ -101,11 +101,12 @@ type Server struct {
 
 // flight is one in-progress cell execution with its subscriber set.
 type flight struct {
-	done   chan struct{}
-	res    experiment.CellResult
-	err    error
-	subs   int // guarded by Server.mu
-	cancel context.CancelFunc
+	done      chan struct{}
+	res       experiment.CellResult
+	err       error
+	subs      int  // guarded by Server.mu
+	abandoned bool // last subscriber left and cancel was fired; guarded by Server.mu
+	cancel    context.CancelFunc
 }
 
 // New builds a Server. Close releases its pool.
@@ -181,7 +182,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	s.mu.Lock()
-	for _, f := range s.flight { //lint:allow cancellation fan-out is order-independent
+	for _, f := range s.flight {
 		f.cancel()
 	}
 	s.mu.Unlock()
@@ -477,14 +478,23 @@ func finishCell(resp CellResponse, st core.Stats) (CellResponse, error) {
 // whether this request coalesced onto an existing flight.
 func (s *Server) joinFlight(ctx context.Context, pc *preparedCell) (experiment.CellResult, bool, error) {
 	s.mu.Lock()
-	if f, ok := s.flight[pc.addr]; ok {
+	// An abandoned flight (last subscriber left, cancel already fired) is
+	// not joinable: its execution is dying with context.Canceled, and a new
+	// subscriber coalescing onto it would inherit that spurious failure.
+	// Start a fresh flight instead; the stale entry is overwritten here and
+	// lead() only deletes the map entry if it is still the current one.
+	if f, ok := s.flight[pc.addr]; ok && !f.abandoned {
 		f.subs++
 		s.mu.Unlock()
 		s.coalesced.Add(1)
 		res, err := s.awaitFlight(ctx, f)
 		return res, true, err
 	}
-	fctx, cancel := context.WithCancel(context.Background())
+	// The flight context deliberately does not descend from any single
+	// subscriber's ctx: the flight is shared, and must survive subscriber A
+	// leaving while B still waits. Last-out cancellation is explicit, in
+	// awaitFlight.
+	fctx, cancel := context.WithCancel(context.Background()) //lint:allow flight outlives any one subscriber; the last one out cancels it in awaitFlight
 	f := &flight{done: make(chan struct{}), subs: 1, cancel: cancel}
 	s.flight[pc.addr] = f
 	s.mu.Unlock()
@@ -504,7 +514,11 @@ func (s *Server) lead(fctx context.Context, pc *preparedCell, f *flight) {
 		s.failed.Add(1)
 	}
 	s.mu.Lock()
-	delete(s.flight, pc.addr)
+	// A fresh flight may have replaced an abandoned f under this address;
+	// only remove the entry if it is still ours.
+	if s.flight[pc.addr] == f {
+		delete(s.flight, pc.addr)
+	}
 	s.mu.Unlock()
 	close(f.done)
 }
@@ -543,11 +557,17 @@ func (s *Server) awaitFlight(ctx context.Context, f *flight) (experiment.CellRes
 	}
 	s.mu.Lock()
 	f.subs--
-	last := f.subs == 0
-	s.mu.Unlock()
-	if last {
+	if f.subs == 0 && !f.abandoned {
+		// Mark and cancel inside the lock: deciding "last one out" and
+		// firing cancel must be atomic with joinFlight's joinability check,
+		// or a subscriber arriving between them would coalesce onto a
+		// flight whose cancellation is already in motion and get a spurious
+		// context.Canceled for a cell that was never doomed. (CancelFunc is
+		// non-blocking, so holding mu across it is safe.)
+		f.abandoned = true
 		f.cancel()
 	}
+	s.mu.Unlock()
 	return experiment.CellResult{}, ctx.Err()
 }
 

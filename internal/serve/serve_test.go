@@ -247,6 +247,72 @@ func TestLastSubscriberCancelsExecution(t *testing.T) {
 	}
 }
 
+// TestAbandonedFlightNotJoinable is the regression test for a coalescing
+// race surfaced by the ctxflow/lockdisc sweep: when the last subscriber
+// leaves, awaitFlight cancels the flight, but the dying flight stays in
+// the map until its lead goroutine unwinds. A request arriving in that
+// window used to coalesce onto it and inherit a spurious context.Canceled
+// for a cell that was never doomed. Abandoned flights must not be
+// joinable: the late arrival starts a fresh flight and succeeds.
+func TestAbandonedFlightNotJoinable(t *testing.T) {
+	s := testServer(t, Options{MaxConcurrent: 2, MaxQueue: 4})
+	pc := &preparedCell{addr: "cell-R", series: "fdp24"}
+
+	cancelled := make(chan struct{})
+	releaseFirst := make(chan struct{})
+	var calls atomic.Int64
+	s.runCell = func(ctx context.Context, _ *preparedCell) (experiment.CellResult, error) {
+		if calls.Add(1) == 1 {
+			// First flight: observe the last-out cancel, then keep its lead
+			// goroutine (and so its map entry) alive until released.
+			<-ctx.Done()
+			close(cancelled)
+			<-releaseFirst
+			return experiment.CellResult{}, ctx.Err()
+		}
+		return stubResult("fresh", 7), nil
+	}
+
+	actx, abandon := context.WithCancel(context.Background())
+	aErr := make(chan error, 1)
+	go func() {
+		_, err := s.cell(actx, pc)
+		aErr <- err
+	}()
+	waitFor(t, "first execution", func() bool { return calls.Load() == 1 })
+	abandon()
+	if err := <-aErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning subscriber got %v, want context.Canceled", err)
+	}
+	<-cancelled // the dying flight is now parked, still occupying the map
+
+	var bResp CellResponse
+	bErr := make(chan error, 1)
+	go func() {
+		var err error
+		bResp, err = s.cell(context.Background(), pc)
+		bErr <- err
+	}()
+	// Before the fix this times out: B coalesces onto the dying flight and
+	// no second execution ever starts.
+	waitFor(t, "fresh flight for the late subscriber", func() bool { return calls.Load() == 2 })
+	if err := <-bErr; err != nil {
+		t.Fatalf("late subscriber inherited the dying flight: %v", err)
+	}
+	if bResp.Coalesced {
+		t.Error("late subscriber reported Coalesced = true; it must have led a fresh flight")
+	}
+	if bResp.Config != "fresh" {
+		t.Errorf("late subscriber got config %q, want the fresh flight's result", bResp.Config)
+	}
+	close(releaseFirst)
+	waitFor(t, "flight map drained", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.flight) == 0
+	})
+}
+
 // TestDrain pins graceful shutdown: draining rejects new work with
 // 503 + Retry-After, flips /healthz, and a drain deadline cancels
 // whatever is still executing.
