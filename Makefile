@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-strict test race audit vet check obs-smoke ff-smoke serve-smoke batch-smoke cover
+.PHONY: all build lint lint-strict test race audit vet check obs-smoke ff-smoke serve-smoke batch-smoke cluster-smoke cover
 
 all: check
 
@@ -124,10 +124,21 @@ batch-smoke:
 	diff -r /tmp/frontsim-batch-smoke/cache-batch /tmp/frontsim-batch-smoke/cache-solo
 	@echo "batch-smoke: tables and cache dirs byte-identical with batching on/off"
 
+# cluster-smoke proves sharded cluster mode end to end, in-process with
+# real execution: 3 nodes, an overlapping 48-request storm where every
+# duplicate lands on a NON-home node, asserting cross-node singleflight
+# (global executions == distinct fingerprints), responses byte-identical
+# to the experiment harness, cache convergence across all three nodes,
+# and — with the home node killed mid-storm — degradation to local
+# execution with no 5xx.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestClusterSmoke|TestClusterHomeKilled' -v ./internal/serve
+	@echo "cluster-smoke: cross-node singleflight, byte-identity, convergence, and home-loss degradation verified"
+
 # cover builds the coverage profile the CI gate ratchets on
 # (.github/coverage-baseline.txt) and prints the total.
 cover:
 	$(GO) test -count=1 -coverprofile=/tmp/frontsim-cover.out -covermode=atomic ./internal/...
 	$(GO) tool cover -func=/tmp/frontsim-cover.out | tail -1
 
-check: vet build lint-strict race audit obs-smoke ff-smoke serve-smoke batch-smoke
+check: vet build lint-strict race audit obs-smoke ff-smoke serve-smoke batch-smoke cluster-smoke

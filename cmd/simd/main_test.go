@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"frontsim/internal/workload"
+)
+
+// lineBuffer collects a subprocess stream and lets the test wait for
+// markers in it.
+type lineBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (l *lineBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.Write(p)
+}
+
+func (l *lineBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.String()
+}
+
+func (l *lineBuffer) waitFor(t *testing.T, marker string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		if s := l.String(); strings.Contains(s, marker) {
+			return s
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("subprocess never printed %q; stderr so far:\n%s", marker, l.String())
+	return ""
+}
+
+// TestForcedExitFlushesMetrics is the regression test for -metrics-out
+// losing its file on a hard kill: the snapshot used to be written only by
+// the graceful-drain epilogue, so a second SIGTERM during a long drain
+// (the documented force-exit path) dropped it. The forced path must flush
+// best-effort before exiting nonzero.
+func TestForcedExitFlushesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "simd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	metricsOut := filepath.Join(dir, "final.prom")
+	var stderr lineBuffer
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cache", filepath.Join(dir, "cache"),
+		"-metrics-out", metricsOut,
+		"-drain-timeout", "10m", // far past the test: only a forced exit ends the drain
+		"-jobs", "2",
+	)
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	addrRe := regexp.MustCompile(`serving on (\S+)`)
+	m := addrRe.FindStringSubmatch(stderr.waitFor(t, "serving on"))
+	if m == nil {
+		t.Fatalf("no listen address in stderr:\n%s", stderr.String())
+	}
+	base := "http://" + m[1]
+
+	// A cell far too slow to finish: the drain below will wait on it until
+	// the second signal forces the exit.
+	go func() {
+		body := fmt.Sprintf(`{"workload":%q,"warmup_instrs":1000,"measure_instrs":5000000000}`,
+			workload.Names()[0])
+		res, err := http.Post(base+"/v1/cell", "application/json", strings.NewReader(body))
+		if err == nil {
+			res.Body.Close() // the kill below aborts this request; any outcome is fine
+		}
+	}()
+	// Wait until the cell is actually executing, so the drain cannot
+	// complete on its own.
+	executing := func() bool {
+		res, err := http.Get(base + "/metrics")
+		if err != nil {
+			return false
+		}
+		defer res.Body.Close()
+		b, err := io.ReadAll(res.Body)
+		return err == nil && strings.Contains(string(b), `simd_cells_total{source="executed"} 1`)
+	}
+	for i := 0; i < 10000 && !executing(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	// First SIGTERM: graceful drain begins and blocks on the slow cell.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	stderr.waitFor(t, "draining")
+
+	// Second SIGTERM past the drain: forced exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("process survived the forced exit; stderr:\n%s", stderr.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 1 {
+		t.Fatalf("forced exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	stderr.waitFor(t, "forced exit")
+
+	// The whole point: the metrics snapshot survived the kill.
+	snap, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatalf("metrics snapshot lost on forced exit: %v", err)
+	}
+	if !strings.Contains(string(snap), "simd_requests_total") {
+		t.Fatalf("snapshot lacks counters:\n%s", snap)
+	}
+}

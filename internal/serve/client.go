@@ -9,9 +9,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"frontsim/internal/obs"
 	"frontsim/internal/xrand"
 )
 
@@ -34,6 +36,9 @@ type Client struct {
 	MaxBackoff time.Duration
 	// Seed makes the jitter sequence reproducible (0: a fixed default).
 	Seed uint64
+	// Headers is added to every request — how a cluster node marks its
+	// peer-fill probes with X-Simd-Peer.
+	Headers http.Header
 
 	mu  sync.Mutex
 	rng *xrand.Rand
@@ -65,27 +70,57 @@ func (c *Client) Suite(ctx context.Context, req SuiteRequest) (SuiteResponse, er
 
 // Metrics fetches the Prometheus exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	b, err := c.get(ctx, "/metrics")
+	return string(b), err
+}
+
+// MetricsJSON fetches and decodes the canonical metric set — the scrape
+// the cluster rollup aggregates.
+func (c *Client) MetricsJSON(ctx context.Context) (obs.MetricSet, error) {
+	b, err := c.get(ctx, "/metrics.json")
 	if err != nil {
-		return "", err
+		return nil, err
 	}
+	var ms obs.MetricSet
+	if err := json.Unmarshal(b, &ms); err != nil {
+		return nil, fmt.Errorf("serve: decoding metrics.json: %w", err)
+	}
+	return ms, nil
+}
+
+// get performs a single (non-retried) GET of path.
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.applyHeaders(hreq)
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
 	}
 	res, err := hc.Do(hreq)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	defer res.Body.Close()
 	b, err := io.ReadAll(res.Body)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if res.StatusCode != http.StatusOK {
-		return "", &StatusError{Status: res.StatusCode, Body: string(b)}
+		return nil, &StatusError{Status: res.StatusCode, Body: string(b)}
 	}
-	return string(b), nil
+	return b, nil
+}
+
+// applyHeaders copies the client's fixed headers onto req.
+func (c *Client) applyHeaders(req *http.Request) {
+	for k, vs := range c.Headers {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
 }
 
 // do POSTs body to path, retrying per the client's policy, and decodes
@@ -106,7 +141,21 @@ func (c *Client) do(ctx context.Context, path string, body, out any) error {
 	var last error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			if err := c.sleep(ctx, c.backoff(i-1, last)); err != nil {
+			d := c.backoff(i-1, last)
+			// Never sleep past the request's own deadline: a backoff longer
+			// than the remaining budget would burn it entirely and turn a
+			// still-winnable final attempt into a guaranteed
+			// context.DeadlineExceeded. Cap the wait below the remainder,
+			// keeping a slice of the budget for the attempt itself.
+			if dl, ok := ctx.Deadline(); ok {
+				if remain := time.Until(dl); d > remain {
+					d = remain - remain/8
+					if d < 0 {
+						d = 0
+					}
+				}
+			}
+			if err := c.sleep(ctx, d); err != nil {
 				return err
 			}
 		}
@@ -116,6 +165,7 @@ func (c *Client) do(ctx context.Context, path string, body, out any) error {
 			return err
 		}
 		hreq.Header.Set("Content-Type", "application/json")
+		c.applyHeaders(hreq)
 		res, err := hc.Do(hreq)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -204,16 +254,36 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// parseRetryAfter reads the delay-seconds form of Retry-After.
+// maxRetryAfter clamps absurd server hints: a Retry-After pointing
+// minutes or hours out (typo'd seconds, skewed clock behind an HTTP
+// date) must not park the client longer than its own backoff ceiling
+// plausibly would.
+const maxRetryAfter = 5 * time.Minute
+
+// parseRetryAfter reads both RFC 9110 forms of Retry-After — delay
+// seconds and HTTP-date — clamping negative (past dates, negative
+// seconds) to 0 and absurdly large hints to maxRetryAfter. 0 means "no
+// usable hint": the caller falls back to computed backoff.
 func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(v); err == nil {
+		d = time.Until(at)
+	} else {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	switch {
+	case d < 0:
+		return 0
+	case d > maxRetryAfter:
+		return maxRetryAfter
+	}
+	return d
 }
 
 // errText extracts the message from a JSON error body, falling back to

@@ -107,19 +107,79 @@ func TestBackoffHonorsRetryAfter(t *testing.T) {
 	}
 }
 
-// TestParseRetryAfter covers the delay-seconds parser.
+// TestParseRetryAfter covers both RFC 9110 forms of Retry-After. The
+// HTTP-date form is the regression half: the parser used to accept only
+// delay-seconds, so a date-form hint silently became "no hint" and the
+// client fell back to its computed backoff.
 func TestParseRetryAfter(t *testing.T) {
+	// Delay-seconds form: parsed, negatives zeroed, absurd hints clamped.
 	cases := map[string]time.Duration{
-		"":     0,
-		"0":    0,
-		"3":    3 * time.Second,
-		"-1":   0,
-		"soon": 0,
+		"":       0,
+		"0":      0,
+		"3":      3 * time.Second,
+		" 3 ":    3 * time.Second,
+		"-1":     0,
+		"999999": maxRetryAfter,
+		"soon":   0,
 	}
 	for in, want := range cases {
 		if got := parseRetryAfter(in); got != want {
 			t.Fatalf("parseRetryAfter(%q) = %v, want %v", in, got, want)
 		}
+	}
+
+	// HTTP-date form: a near-future date yields roughly the remaining
+	// wait; past dates clamp to 0; far-future dates clamp to the ceiling;
+	// garbage dates mean "no hint".
+	httpDate := func(d time.Duration) string {
+		return time.Now().Add(d).UTC().Format(http.TimeFormat)
+	}
+	if got := parseRetryAfter(httpDate(3 * time.Second)); got <= time.Second || got > 3*time.Second {
+		t.Fatalf("parseRetryAfter(+3s date) = %v, want in (1s, 3s]", got)
+	}
+	if got := parseRetryAfter(httpDate(-time.Hour)); got != 0 {
+		t.Fatalf("parseRetryAfter(past date) = %v, want 0", got)
+	}
+	if got := parseRetryAfter(httpDate(48 * time.Hour)); got != maxRetryAfter {
+		t.Fatalf("parseRetryAfter(+48h date) = %v, want clamp to %v", got, maxRetryAfter)
+	}
+	if got := parseRetryAfter("Mon, 99 Foo 2026 99:99:99 GMT"); got != 0 {
+		t.Fatalf("parseRetryAfter(garbage date) = %v, want 0", got)
+	}
+}
+
+// TestBackoffCappedByDeadline is the regression test for backoff sleeps
+// outliving the request deadline: with BaseBackoff far beyond the ctx
+// budget, the wait before the final attempt used to burn the entire
+// remaining time and surface context.DeadlineExceeded even though the
+// server had already recovered. The capped sleep must leave room for the
+// retry to land.
+func TestBackoffCappedByDeadline(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(CellResponse{Workload: "w", Fingerprint: "fp"})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 800*time.Millisecond)
+	defer cancel()
+	// 10s of backoff against an 800ms budget: only the deadline cap can
+	// let the second attempt run.
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 2, BaseBackoff: 10 * time.Second, Seed: 1}
+	resp, err := c.Cell(ctx, CellRequest{Workload: "w"})
+	if err != nil {
+		t.Fatalf("retry within deadline failed: %v", err)
+	}
+	if resp.Fingerprint != "fp" {
+		t.Fatalf("fingerprint %q, want fp", resp.Fingerprint)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
 	}
 }
 

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"frontsim/internal/core"
+	"frontsim/internal/experiment"
+	"frontsim/internal/obs"
+)
+
+// Cluster mode turns N independent simd nodes into one content-addressed
+// store: the cell address space is consistent-hash sharded across a peer
+// set, every fingerprint has a home node, and a non-home node that
+// misses its local cache probes the home peer before admitting a local
+// execution — cross-node singleflight layered on the per-node flight
+// coalescing, so an overlapping storm against every node of the cluster
+// still costs one execution per distinct fingerprint globally. The
+// peer's bytes are written back into the local cache verbatim, so the
+// cluster converges: caches fill with byte-identical entries wherever a
+// fingerprint has been requested.
+//
+// Failure is always degradation, never unavailability: a home peer that
+// is down, draining, or shedding load makes the non-home node fall back
+// to executing locally. A forwarded request carries the X-Simd-Peer
+// header and is never forwarded again (one hop, so membership skew
+// between nodes cannot form forwarding loops).
+
+// PeerHeader marks a forwarded peer-fill request; its value is the
+// origin node's name. A request carrying it is served locally no matter
+// where the receiving node believes the cell's home is — the one-hop
+// guard that makes forwarding loops impossible.
+const PeerHeader = "X-Simd-Peer"
+
+// ClusterConfig wires a Server into a peer set.
+type ClusterConfig struct {
+	// Self is this node's name; it must appear in Peers.
+	Self string
+	// Peers is the full membership, this node included.
+	Peers []Peer
+	// Replicas is the virtual-node count per peer on the ring (<=0: 64).
+	Replicas int
+	// PeerTimeout bounds one /metrics.json scrape during a cluster
+	// rollup (<=0: 5s). Peer cell fills are bounded by the requesting
+	// flight's context instead — a cold fill legitimately takes as long
+	// as the simulation it deduplicates.
+	PeerTimeout time.Duration
+	// Reload re-reads the membership source (e.g. the peers file).
+	// Optional; without it SIGHUP/POST /cluster/reload report an error.
+	Reload func() ([]Peer, error)
+}
+
+// clusterState is an immutable membership snapshot. Reload swaps the
+// whole snapshot atomically, so a remap applies to future requests only
+// — requests that already resolved a home keep it.
+type clusterState struct {
+	self    string
+	peers   []Peer
+	ring    *Ring
+	clients map[string]*Client // by peer name; excludes self
+}
+
+// newClusterState validates cfg's membership and builds the snapshot.
+func newClusterState(cfg ClusterConfig, peers []Peer) (*clusterState, error) {
+	cs := &clusterState{self: cfg.Self, peers: peers, clients: make(map[string]*Client)}
+	selfSeen := false
+	for _, p := range peers {
+		if p.Name == cfg.Self {
+			selfSeen = true
+			continue
+		}
+		// Peer clients barely retry (one backoff'd second attempt): the
+		// real retry policy for a failed peer fill is falling back to
+		// local execution, not hammering a dying home.
+		cs.clients[p.Name] = &Client{
+			BaseURL:     p.URL,
+			MaxAttempts: 2,
+			BaseBackoff: 50 * time.Millisecond,
+			MaxBackoff:  500 * time.Millisecond,
+			Headers:     http.Header{PeerHeader: []string{cfg.Self}},
+		}
+	}
+	if !selfSeen {
+		return nil, fmt.Errorf("serve: cluster self %q is not in the peer list", cfg.Self)
+	}
+	cs.ring = NewRing(peers, cfg.Replicas)
+	return cs, nil
+}
+
+// SetCluster enables cluster mode (or replaces the membership wholesale).
+// Safe to call while serving; only future requests see the new map.
+func (s *Server) SetCluster(cfg ClusterConfig) error {
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 5 * time.Second
+	}
+	cs, err := newClusterState(cfg, cfg.Peers)
+	if err != nil {
+		return err
+	}
+	s.clusterCfg = cfg
+	s.cluster.Store(cs)
+	return nil
+}
+
+// ReloadCluster re-reads the membership source installed by SetCluster
+// and swaps the ring/peer snapshot. In-flight requests keep the homes
+// they already resolved; only future requests are remapped.
+func (s *Server) ReloadCluster() (int, error) {
+	if s.clusterCfg.Reload == nil {
+		return 0, fmt.Errorf("serve: cluster reload: no membership source configured")
+	}
+	peers, err := s.clusterCfg.Reload()
+	if err != nil {
+		return 0, fmt.Errorf("serve: cluster reload: %w", err)
+	}
+	cs, err := newClusterState(s.clusterCfg, peers)
+	if err != nil {
+		return 0, err
+	}
+	s.cluster.Store(cs)
+	s.clusterReloads.Add(1)
+	return len(peers), nil
+}
+
+// peerFill tries to satisfy a cold cell from its home peer. It returns
+// ok=false whenever the cell must be produced locally instead: cluster
+// mode off, this node is the home, the request is already a forwarded
+// hop, or the home peer failed (down, draining, shedding) — the
+// fallback that keeps a degraded cluster serving.
+func (s *Server) peerFill(ctx context.Context, pc *preparedCell) (experiment.CellResult, bool) {
+	cs := s.cluster.Load()
+	if cs == nil || pc.peerHop {
+		return experiment.CellResult{}, false
+	}
+	home := cs.ring.Home(pc.addr)
+	if home == "" || home == cs.self {
+		return experiment.CellResult{}, false
+	}
+	cl := cs.clients[home]
+	if cl == nil {
+		return experiment.CellResult{}, false
+	}
+	resp, err := cl.Cell(ctx, pc.req)
+	if err != nil {
+		s.peerFallback.Add(1)
+		return experiment.CellResult{}, false
+	}
+	if resp.Fingerprint != pc.addr {
+		// The peer resolved the same request to a different identity —
+		// skewed defaults or versions. Its bytes answer a different cell;
+		// execute locally.
+		s.peerFallback.Add(1)
+		return experiment.CellResult{}, false
+	}
+	st, err := core.StatsFromJSON(resp.Stats)
+	if err != nil {
+		s.peerFallback.Add(1)
+		return experiment.CellResult{}, false
+	}
+	// Write-back: store the peer's canonical bytes verbatim, so this
+	// node's cache entry is byte-identical to the home's and the next
+	// local request is a plain cache hit. A failed write-back only costs
+	// a future re-fill — the response is already in hand.
+	if err := s.storeCell(pc, resp.Stats); err != nil {
+		s.peerStoreErrs.Add(1)
+	}
+	s.peerFilled.Add(1)
+	return experiment.CellResult{Stats: st, Fingerprint: pc.addr, Cached: resp.Cached}, true
+}
+
+// storeCellBytes is the production write-back seam: peer bytes land in
+// the local run cache under exactly the key a local execution would use.
+func (s *Server) storeCellBytes(pc *preparedCell, raw json.RawMessage) error {
+	if pc.series != "" {
+		return experiment.StoreCellBytes(pc.spec, pc.series, pc.params, raw)
+	}
+	return experiment.StoreConfigCellBytes(pc.spec, pc.config, pc.params, raw)
+}
+
+// --- cluster rollup -------------------------------------------------------
+
+// nodeMetrics is one node's scrape result.
+type nodeMetrics struct {
+	node string
+	ms   obs.MetricSet
+	err  error
+}
+
+// clusterMetrics scrapes every member's /metrics.json (self answered
+// in-process), labels each point with node=<name>, and rolls the union
+// up through obs.SuiteCollector — the same mean/min/max/p50/p95 shapes
+// suite exports use, plus a reachability marker per scrape failure.
+func (s *Server) clusterMetrics(ctx context.Context) obs.MetricSet {
+	cs := s.cluster.Load()
+	if cs == nil {
+		// Single node: the rollup degenerates to this node's own set.
+		return s.MetricSet()
+	}
+	timeout := s.clusterCfg.PeerTimeout
+	results := make([]nodeMetrics, len(cs.peers))
+	var wg sync.WaitGroup
+	for i, p := range cs.peers {
+		if p.Name == cs.self {
+			results[i] = nodeMetrics{node: p.Name, ms: s.MetricSet()}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p Peer) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			ms, err := cs.clients[p.Name].MetricsJSON(sctx)
+			results[i] = nodeMetrics{node: p.Name, ms: ms, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+
+	var col obs.SuiteCollector
+	for _, r := range results {
+		var tagged obs.MetricSet
+		if r.err != nil {
+			tagged.Add(obs.Metric{
+				Name:   "simd_cluster_scrape_errors",
+				Help:   "peers whose /metrics.json scrape failed during this rollup",
+				Labels: []obs.Label{{Key: "node", Value: r.node}},
+				Value:  1,
+			})
+			col.Record(tagged)
+			continue
+		}
+		for _, m := range r.ms {
+			m.Labels = append(append([]obs.Label(nil), m.Labels...), obs.Label{Key: "node", Value: r.node})
+			tagged.Add(m)
+		}
+		col.Record(tagged)
+	}
+	return col.Export()
+}
+
+// --- cluster HTTP surface -------------------------------------------------
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.MetricSet().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.clusterMetrics(r.Context()).WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleClusterMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.clusterMetrics(r.Context()).WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleClusterReload(w http.ResponseWriter, _ *http.Request) {
+	n, err := s.ReloadCluster()
+	if err != nil {
+		s.writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"peers": n, "reloads": s.clusterReloads.Load()})
+}

@@ -1,0 +1,705 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"frontsim/internal/experiment"
+	"frontsim/internal/obs"
+	"frontsim/internal/runner"
+	"frontsim/internal/workload"
+)
+
+// clusterNode is one in-process cluster member: a real Server with its
+// own run cache behind a real HTTP listener.
+type clusterNode struct {
+	name  string
+	srv   *Server
+	ts    *httptest.Server
+	cache *runner.Cache
+}
+
+// startCluster builds n nodes, each with its own cache and listener, and
+// wires them into one membership. opt customizes a node's Options (nil:
+// stub-friendly defaults); a nil Cache gets a fresh temp-dir cache.
+func startCluster(t *testing.T, n int, opt func(i int) Options) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	peers := make([]Peer, n)
+	for i := range nodes {
+		o := Options{MaxConcurrent: 2, MaxQueue: 32}
+		if opt != nil {
+			o = opt(i)
+		}
+		if o.Cache == nil {
+			c, err := runner.OpenCache(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.Cache = c
+		}
+		s := New(o)
+		t.Cleanup(s.Close)
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		name := fmt.Sprintf("node-%d", i)
+		nodes[i] = &clusterNode{name: name, srv: s, ts: ts, cache: o.Cache}
+		peers[i] = Peer{Name: name, URL: ts.URL}
+	}
+	for _, nd := range nodes {
+		if err := nd.srv.SetCluster(ClusterConfig{Self: nd.name, Peers: peers}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nodes
+}
+
+// homeSplit resolves req's content address on nodes[0] and partitions the
+// cluster into the cell's home node and the rest.
+func homeSplit(t *testing.T, nodes []*clusterNode, req CellRequest) (addr string, home *clusterNode, others []*clusterNode) {
+	t.Helper()
+	pc, err := nodes[0].srv.prepare(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeName := nodes[0].srv.cluster.Load().ring.Home(pc.addr)
+	for _, nd := range nodes {
+		if nd.name == homeName {
+			home = nd
+		} else {
+			others = append(others, nd)
+		}
+	}
+	if home == nil {
+		t.Fatalf("no node named %q", homeName)
+	}
+	return pc.addr, home, others
+}
+
+// postCellPeer is postCell with the X-Simd-Peer header set — a forwarded
+// probe as another node would send it.
+func postCellPeer(t *testing.T, url string, req CellRequest) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/cell", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(PeerHeader, "test-origin")
+	res, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, body
+}
+
+// TestPeerFillUsesHomeNode pins the tentpole protocol: a cold cell
+// requested at a non-home node is produced by its home peer — the
+// non-home node executes nothing — and the peer's bytes are written back
+// into the local cache, so the repeat request is a plain local hit.
+func TestPeerFillUsesHomeNode(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	req := CellRequest{Workload: workload.Names()[0]}
+	addr, home, others := homeSplit(t, nodes, req)
+	other := others[0]
+
+	want := stubResult("home-produced", 123)
+	home.srv.runCell = func(context.Context, *preparedCell) (experiment.CellResult, error) {
+		return want, nil
+	}
+	other.srv.runCell = func(context.Context, *preparedCell) (experiment.CellResult, error) {
+		t.Error("non-home node executed a cell whose home peer is healthy")
+		return experiment.CellResult{}, errors.New("must not execute")
+	}
+
+	status, _, body := postCell(t, other.ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("peer-filled cell got %d: %s", status, body)
+	}
+	var resp CellResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.PeerFilled {
+		t.Fatal("response not marked peer_filled")
+	}
+	if resp.Fingerprint != addr {
+		t.Fatalf("fingerprint %s, want %s", resp.Fingerprint, addr)
+	}
+	wantBytes, err := want.Stats.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Stats, wantBytes) {
+		t.Fatalf("peer-filled stats differ:\ngot:  %s\nwant: %s", resp.Stats, wantBytes)
+	}
+	if got := other.srv.executions.Load(); got != 0 {
+		t.Fatalf("non-home executions = %d, want 0", got)
+	}
+	if got := other.srv.peerFilled.Load(); got != 1 {
+		t.Fatalf("non-home peerFilled = %d, want 1", got)
+	}
+	if got := home.srv.executions.Load(); got != 1 {
+		t.Fatalf("home executions = %d, want 1", got)
+	}
+	if got := home.srv.peerServed.Load(); got != 1 {
+		t.Fatalf("home peerServed = %d, want 1", got)
+	}
+
+	// Write-back: the repeat request never leaves the non-home node.
+	status, _, body = postCell(t, other.ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("repeat cell got %d: %s", status, body)
+	}
+	var warm CellResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("repeat request missed the locally written-back cache entry")
+	}
+	if !bytes.Equal(warm.Stats, resp.Stats) {
+		t.Fatal("written-back bytes differ from the peer's response")
+	}
+	if got := home.srv.peerServed.Load(); got != 1 {
+		t.Fatalf("repeat request reached the home peer: peerServed = %d", got)
+	}
+}
+
+// TestPeerHopServedLocally pins the loop guard: a request that already
+// carries X-Simd-Peer is produced locally no matter where this node
+// believes the home is — one hop, never two.
+func TestPeerHopServedLocally(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	req := CellRequest{Workload: workload.Names()[0]}
+	_, home, others := homeSplit(t, nodes, req)
+	other := others[0]
+
+	home.srv.runCell = func(context.Context, *preparedCell) (experiment.CellResult, error) {
+		t.Error("forwarded hop was re-forwarded to the home node")
+		return experiment.CellResult{}, errors.New("loop")
+	}
+	other.srv.runCell = func(context.Context, *preparedCell) (experiment.CellResult, error) {
+		return stubResult("local", 7), nil
+	}
+
+	// The non-home node receives an (apparently misrouted) forwarded
+	// probe: membership skew during a reload. It must serve it itself.
+	status, body := postCellPeer(t, other.ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("forwarded hop got %d: %s", status, body)
+	}
+	if got := other.srv.executions.Load(); got != 1 {
+		t.Fatalf("hop executions = %d, want 1 (local)", got)
+	}
+	if got := other.srv.peerServed.Load(); got != 1 {
+		t.Fatalf("hop peerServed = %d, want 1", got)
+	}
+	if got := other.srv.peerFilled.Load() + other.srv.peerFallback.Load(); got != 0 {
+		t.Fatalf("hop touched the peer-fill path %d times, want 0", got)
+	}
+}
+
+// TestPeerFillFallsBackWhenHomeDown pins degradation: a dead home peer
+// costs a local execution, not an error.
+func TestPeerFillFallsBackWhenHomeDown(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	req := CellRequest{Workload: workload.Names()[0]}
+	_, home, others := homeSplit(t, nodes, req)
+	other := others[0]
+
+	home.ts.Close() // the home node is gone
+	other.srv.runCell = func(context.Context, *preparedCell) (experiment.CellResult, error) {
+		return stubResult("local-fallback", 9), nil
+	}
+
+	status, _, body := postCell(t, other.ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("fallback cell got %d: %s", status, body)
+	}
+	var resp CellResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PeerFilled {
+		t.Fatal("fallback response marked peer_filled")
+	}
+	if got := other.srv.executions.Load(); got != 1 {
+		t.Fatalf("fallback executions = %d, want 1", got)
+	}
+	if got := other.srv.peerFallback.Load(); got != 1 {
+		t.Fatalf("peerFallback = %d, want 1", got)
+	}
+}
+
+// TestPeerProbeRefusedMidDrain pins the drain/cluster interaction: a
+// forwarded probe arriving at a draining home is refused with 503 before
+// it can touch the cache — not counted as a miss, not counted as served —
+// and the origin node falls back to local execution.
+func TestPeerProbeRefusedMidDrain(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+	req := CellRequest{Workload: workload.Names()[0]}
+	_, home, others := homeSplit(t, nodes, req)
+	other := others[0]
+
+	if err := home.srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct forwarded probe against the draining home.
+	status, _ := postCellPeer(t, home.ts.URL, req)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("mid-drain peer probe got %d, want 503", status)
+	}
+	if got := home.srv.rejectedDrai.Load(); got < 1 {
+		t.Fatalf("rejectedDrai = %d, want >= 1", got)
+	}
+	if got := home.cache.Metrics().Misses; got != 0 {
+		t.Fatalf("refused probe counted %d cache misses, want 0", got)
+	}
+	if got := home.srv.peerServed.Load(); got != 0 {
+		t.Fatalf("refused probe counted as served: peerServed = %d", got)
+	}
+
+	// End-to-end: the non-home node's own fill attempt sees the 503s and
+	// falls back to local execution.
+	other.srv.runCell = func(context.Context, *preparedCell) (experiment.CellResult, error) {
+		return stubResult("local-fallback", 5), nil
+	}
+	status, _, body := postCell(t, other.ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("fallback past a draining home got %d: %s", status, body)
+	}
+	if got := other.srv.peerFallback.Load(); got != 1 {
+		t.Fatalf("peerFallback = %d, want 1", got)
+	}
+	if got := home.cache.Metrics().Misses; got != 0 {
+		t.Fatalf("draining home probed its cache %d times, want 0", got)
+	}
+}
+
+// TestClusterMetricsRollup pins the rollup surface: /cluster/metrics.json
+// carries every node's counters tagged node=<name> plus the same _suite
+// rollup shapes obs.SuiteCollector gives suite exports, the Prometheus
+// form matches, and an unreachable peer degrades to a scrape-error marker
+// instead of failing the rollup.
+func TestClusterMetricsRollup(t *testing.T) {
+	nodes := startCluster(t, 2, nil)
+
+	res, err := http.Get(nodes[0].ts.URL + "/cluster/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("rollup got %d: %s", res.StatusCode, body)
+	}
+	var ms obs.MetricSet
+	if err := json.Unmarshal(body, &ms); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		for _, l := range m.Labels {
+			if m.Name == "simd_requests_total" && l.Key == "node" {
+				seen[l.Value] = true
+			}
+		}
+		if m.Name == "simd_requests_total_suite" {
+			seen["rollup:"+m.Labels[0].Value] = true
+		}
+	}
+	for _, want := range []string{"node-0", "node-1", "rollup:mean", "rollup:p95"} {
+		if !seen[want] {
+			t.Fatalf("rollup lacks %q; saw %v in:\n%s", want, seen, body)
+		}
+	}
+
+	// The Prometheus form exposes the same union.
+	res, err = http.Get(nodes[0].ts.URL + "/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := string(pb)
+	for _, want := range []string{
+		`simd_requests_total{node="node-1"} 0`,
+		`simd_requests_total_suite{stat="mean"} 0`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prometheus rollup lacks %q:\n%s", want, prom)
+		}
+	}
+
+	// A dead peer becomes a reachability marker, not a rollup failure.
+	nodes[1].ts.Close()
+	res, err = http.Get(nodes[0].ts.URL + "/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err = io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("rollup with a dead peer got %d", res.StatusCode)
+	}
+	if want := `simd_cluster_scrape_errors{node="node-1"} 1`; !strings.Contains(string(pb), want) {
+		t.Fatalf("rollup lacks %q:\n%s", want, pb)
+	}
+}
+
+// TestClusterReload pins reload semantics: POST /cluster/reload swaps in
+// the membership the configured source now reports, remapping future
+// requests; without a source the endpoint reports a conflict.
+func TestClusterReload(t *testing.T) {
+	cache, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Cache: cache})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	self := Peer{Name: "node-a", URL: ts.URL}
+	grown := []Peer{self, {Name: "node-b", URL: "http://127.0.0.1:1"}}
+	membership := []Peer{self}
+	err = s.SetCluster(ClusterConfig{
+		Self:   "node-a",
+		Peers:  membership,
+		Reload: func() ([]Peer, error) { return grown, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alone in the ring, every address is home.
+	if h := s.cluster.Load().ring.Home("anything"); h != "node-a" {
+		t.Fatalf("single-node ring homed %q", h)
+	}
+
+	res, err := http.Post(ts.URL+"/cluster/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("reload got %d: %s", res.StatusCode, body)
+	}
+	var rr struct {
+		Peers   int `json:"peers"`
+		Reloads int `json:"reloads"`
+	}
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Peers != 2 || rr.Reloads != 1 {
+		t.Fatalf("reload reported %+v, want 2 peers / 1 reload", rr)
+	}
+	// Future requests see the remap: node-b now owns part of the keyspace.
+	cs := s.cluster.Load()
+	if len(cs.peers) != 2 {
+		t.Fatalf("snapshot has %d peers, want 2", len(cs.peers))
+	}
+	remapped := false
+	for i := 0; i < 200 && !remapped; i++ {
+		remapped = cs.ring.Home(fmt.Sprintf("addr-%d", i)) == "node-b"
+	}
+	if !remapped {
+		t.Fatal("after reload node-b owns no keys")
+	}
+	ms := s.MetricSet()
+	var peersGauge, reloads float64
+	for _, m := range ms {
+		switch m.Name {
+		case "simd_cluster_peers":
+			peersGauge = m.Value
+		case "simd_cluster_reloads_total":
+			reloads = m.Value
+		}
+	}
+	if peersGauge != 2 || reloads != 1 {
+		t.Fatalf("metrics: peers %v reloads %v, want 2 and 1", peersGauge, reloads)
+	}
+
+	// No membership source: the endpoint must refuse, not panic.
+	s2 := New(Options{Cache: cache})
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if err := s2.SetCluster(ClusterConfig{Self: "solo", Peers: []Peer{{Name: "solo", URL: ts2.URL}}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = http.Post(ts2.URL+"/cluster/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusConflict {
+		t.Fatalf("sourceless reload got %d, want 409", res.StatusCode)
+	}
+}
+
+// smokeParams is the real-execution budget for the cluster smoke tests.
+func smokeParams() experiment.Params {
+	p := experiment.DefaultParams()
+	p.WarmupInstrs = 20_000
+	p.MeasureInstrs = 60_000
+	p.ProfileInstrs = 80_000
+	return p
+}
+
+// cacheEntryPath is the run cache's on-disk layout for a content address.
+func cacheEntryPath(c *runner.Cache, addr string) string {
+	return filepath.Join(c.Dir(), addr[:2], addr+".json")
+}
+
+// TestClusterSmoke is the acceptance smoke: 3 real nodes, 8 distinct
+// cells, a 48-request storm where every request lands on a NON-home node
+// (the worst case for the fill protocol), overlapping duplicates across
+// both non-home nodes. Cross-node singleflight must hold: the cluster
+// executes exactly one simulation per distinct fingerprint, every
+// response is byte-identical to the experiment harness's answer for the
+// same cell, and all three caches converge to byte-identical entry files.
+func TestClusterSmoke(t *testing.T) {
+	p := smokeParams()
+	nodes := startCluster(t, 3, func(int) Options {
+		return Options{Params: p, Workers: 2, MaxConcurrent: 4, MaxQueue: 64}
+	})
+
+	const nCells = 8
+	names := workload.Names()[:nCells]
+	type cellPlan struct {
+		req    CellRequest
+		addr   string
+		home   *clusterNode
+		others []*clusterNode
+	}
+	plans := make([]cellPlan, nCells)
+	for i, name := range names {
+		req := CellRequest{Workload: name, Series: "fdp24"}
+		addr, home, others := homeSplit(t, nodes, req)
+		plans[i] = cellPlan{req: req, addr: addr, home: home, others: others}
+	}
+
+	// Storm: 6 requests per cell, alternating between its two non-home
+	// nodes, all in flight at once.
+	const dup = 6
+	var wg sync.WaitGroup
+	statuses := make([]int, nCells*dup)
+	bodies := make([][]byte, nCells*dup)
+	for i := range plans {
+		for j := 0; j < dup; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				target := plans[i].others[j%2]
+				statuses[i*dup+j], _, bodies[i*dup+j] = postCell(t, target.ts.URL, plans[i].req)
+			}(i, j)
+		}
+	}
+	wg.Wait()
+
+	// Reference answers from the experiment harness, fresh cache.
+	ref := p
+	var err error
+	ref.Cache, err = runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.NewPool(2)
+	defer pool.Close()
+	want := make([][]byte, nCells)
+	for i, plan := range plans {
+		spec, ok := workload.Lookup(plan.req.Workload)
+		if !ok {
+			t.Fatalf("unknown workload %q", plan.req.Workload)
+		}
+		direct, err := experiment.RunCellCtx(context.Background(), pool, spec, "fdp24", ref)
+		if err != nil {
+			t.Fatalf("%s reference: %v", plan.req.Workload, err)
+		}
+		if direct.Fingerprint != plan.addr {
+			t.Fatalf("%s reference fingerprint %s != served %s", plan.req.Workload, direct.Fingerprint, plan.addr)
+		}
+		if want[i], err = direct.Stats.CanonicalJSON(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := range plans {
+		for j := 0; j < dup; j++ {
+			k := i*dup + j
+			if statuses[k] != http.StatusOK {
+				t.Fatalf("cell %s request %d got %d: %s", plans[i].req.Workload, j, statuses[k], bodies[k])
+			}
+			var resp CellResponse
+			if err := json.Unmarshal(bodies[k], &resp); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resp.Stats, want[i]) {
+				t.Fatalf("cell %s request %d diverged from the experiment harness:\nserved: %s\nref:    %s",
+					plans[i].req.Workload, j, resp.Stats, want[i])
+			}
+		}
+	}
+
+	// Cross-node singleflight: one execution per distinct fingerprint,
+	// cluster-wide, despite 48 overlapping requests.
+	var totalExec int64
+	for _, nd := range nodes {
+		totalExec += nd.srv.executions.Load()
+	}
+	if totalExec != nCells {
+		for _, nd := range nodes {
+			t.Logf("%s: executions=%d peerFilled=%d peerServed=%d fallback=%d",
+				nd.name, nd.srv.executions.Load(), nd.srv.peerFilled.Load(),
+				nd.srv.peerServed.Load(), nd.srv.peerFallback.Load())
+		}
+		t.Fatalf("cluster executed %d simulations for %d distinct fingerprints", totalExec, nCells)
+	}
+	var fallbacks int64
+	for _, nd := range nodes {
+		fallbacks += nd.srv.peerFallback.Load()
+	}
+	if fallbacks != 0 {
+		t.Fatalf("healthy cluster fell back to local execution %d times", fallbacks)
+	}
+
+	// The measured topline (quoted in EXPERIMENTS.md): requests vs.
+	// cluster-wide executions, and how the work split across nodes.
+	for _, nd := range nodes {
+		t.Logf("%s: requests=%d executions=%d peerFilled=%d peerServed=%d cacheHits=%d coalesced=%d",
+			nd.name, nd.srv.requests.Load(), nd.srv.executions.Load(), nd.srv.peerFilled.Load(),
+			nd.srv.peerServed.Load(), nd.srv.cacheHits.Load(), nd.srv.coalesced.Load())
+	}
+	t.Logf("cluster: %d requests, %d distinct fingerprints, %d executions", nCells*dup, nCells, totalExec)
+
+	// Cache convergence: every node that touched a cell holds an entry
+	// file byte-identical to the home node's.
+	for i, plan := range plans {
+		homeBytes, err := os.ReadFile(cacheEntryPath(plan.home.cache, plan.addr))
+		if err != nil {
+			t.Fatalf("cell %d home cache entry: %v", i, err)
+		}
+		for _, nd := range plan.others {
+			got, err := os.ReadFile(cacheEntryPath(nd.cache, plan.addr))
+			if err != nil {
+				t.Fatalf("cell %d on %s: written-back entry missing: %v", i, nd.name, err)
+			}
+			if !bytes.Equal(got, homeBytes) {
+				t.Fatalf("cell %d: %s cache entry differs from home's", i, nd.name)
+			}
+		}
+	}
+}
+
+// TestClusterHomeKilled pins the degradation half of the acceptance
+// smoke: with the home node dead, requests for its cells succeed on the
+// surviving nodes via local-execution fallback — no 5xx anywhere.
+func TestClusterHomeKilled(t *testing.T) {
+	p := smokeParams()
+	nodes := startCluster(t, 3, func(int) Options {
+		return Options{Params: p, Workers: 2, MaxConcurrent: 4, MaxQueue: 64}
+	})
+
+	// Find four cells homed at one victim node: two served before the
+	// kill (peer-filled), two after (fallback).
+	names := workload.Names()
+	req0 := CellRequest{Workload: names[0], Series: "fdp24"}
+	_, victim, survivors := homeSplit(t, nodes, req0)
+	var victimCells []CellRequest
+	for _, name := range names {
+		req := CellRequest{Workload: name, Series: "fdp24"}
+		if _, home, _ := homeSplit(t, nodes, req); home == victim {
+			victimCells = append(victimCells, req)
+		}
+		if len(victimCells) == 4 {
+			break
+		}
+	}
+	if len(victimCells) < 4 {
+		t.Fatalf("victim %s homes only %d of %d workload cells", victim.name, len(victimCells), len(names))
+	}
+
+	// Wave 1 — healthy cluster: both survivors fill the victim's cells.
+	wave := func(cells []CellRequest) []int {
+		var wg sync.WaitGroup
+		statuses := make([]int, len(cells)*len(survivors))
+		for i := range cells {
+			for j := range survivors {
+				wg.Add(1)
+				go func(i, j int) {
+					defer wg.Done()
+					statuses[i*len(survivors)+j], _, _ = postCell(t, survivors[j].ts.URL, cells[i])
+				}(i, j)
+			}
+		}
+		wg.Wait()
+		return statuses
+	}
+	for i, st := range wave(victimCells[:2]) {
+		if st != http.StatusOK {
+			t.Fatalf("pre-kill request %d got %d", i, st)
+		}
+	}
+	if got := victim.srv.executions.Load(); got != 2 {
+		t.Fatalf("victim executed %d cells pre-kill, want 2", got)
+	}
+
+	// Kill the home node mid-storm.
+	victim.ts.Close()
+
+	// Wave 2 — fresh cells homed at the dead node: every survivor must
+	// degrade to local execution, never a 5xx.
+	before := survivors[0].srv.executions.Load() + survivors[1].srv.executions.Load()
+	for i, st := range wave(victimCells[2:]) {
+		if st != http.StatusOK {
+			t.Fatalf("post-kill request %d got %d, want 200 via local fallback", i, st)
+		}
+	}
+	after := survivors[0].srv.executions.Load() + survivors[1].srv.executions.Load()
+	if after <= before {
+		t.Fatalf("survivors executed nothing post-kill (executions %d -> %d)", before, after)
+	}
+	var fallbacks int64
+	for _, nd := range survivors {
+		fallbacks += nd.srv.peerFallback.Load()
+	}
+	if fallbacks < 2 {
+		t.Fatalf("peerFallback = %d across survivors, want >= 2", fallbacks)
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Peer is one cluster member: a stable name (the ring identity, so a node
+// can change address without remapping the keyspace) and its base URL.
+type Peer struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Ring is a consistent-hash ring over a peer set: every cell content
+// address (experiment.CellAddress) maps to exactly one home peer, and
+// adding or removing a peer only remaps the keyspace slice that peer
+// owns. Hashing is SHA-256 based — deterministic across processes and
+// architectures, so every node of a cluster sharing a membership list
+// computes identical homes without coordination.
+type Ring struct {
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: a position on the hash circle owned by
+// a peer.
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// ringHash maps a string to its position on the circle.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring with replicas virtual nodes per peer (<=0: 64).
+// More replicas smooth the keyspace split at the cost of a larger sorted
+// point set; 64 keeps the max/min ownership ratio under ~1.5 for small
+// clusters.
+func NewRing(peers []Peer, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(peers)*replicas)}
+	for _, p := range peers {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: ringHash(p.Name + "#" + strconv.Itoa(i)),
+				peer: p.Name,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on peer name so the ring is a pure function of the
+		// membership set even in the (cosmologically unlikely) event of a
+		// 64-bit point collision.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// Home returns the name of the peer owning addr: the first ring point at
+// or clockwise-after the address's hash. An empty ring homes nothing ("").
+func (r *Ring) Home(addr string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(addr)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].peer
+}
+
+// ParsePeers reads a membership list: one "name url" pair per line,
+// whitespace-separated, with blank lines and #-comments ignored. Names
+// must be unique — they are ring identities and metric labels.
+func ParsePeers(r io.Reader) ([]Peer, error) {
+	var peers []Peer
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("serve: peers line %d: want \"name url\", got %q", line, text)
+		}
+		name, url := fields[0], fields[1]
+		if seen[name] {
+			return nil, fmt.Errorf("serve: peers line %d: duplicate peer %q", line, name)
+		}
+		seen[name] = true
+		peers = append(peers, Peer{Name: name, URL: url})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: reading peers: %w", err)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("serve: peers list is empty")
+	}
+	return peers, nil
+}
+
+// LoadPeers reads a membership file in the ParsePeers format.
+func LoadPeers(path string) ([]Peer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening peers file: %w", err)
+	}
+	defer f.Close()
+	peers, err := ParsePeers(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	return peers, nil
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func testPeers(n int) []Peer {
+	peers := make([]Peer, n)
+	for i := range peers {
+		peers[i] = Peer{Name: fmt.Sprintf("node-%c", 'a'+i), URL: fmt.Sprintf("http://127.0.0.1:%d", 18000+i)}
+	}
+	return peers
+}
+
+// TestRingDeterministic pins that the ring is a pure function of the
+// membership set: two independently built rings home every address
+// identically — the property that lets N nodes agree without
+// coordination.
+func TestRingDeterministic(t *testing.T) {
+	peers := testPeers(3)
+	r1 := NewRing(peers, 64)
+	// Reversed insertion order must not matter.
+	rev := []Peer{peers[2], peers[1], peers[0]}
+	r2 := NewRing(rev, 64)
+	for i := 0; i < 500; i++ {
+		addr := fmt.Sprintf("fingerprint-%d", i)
+		h1, h2 := r1.Home(addr), r2.Home(addr)
+		if h1 != h2 {
+			t.Fatalf("addr %q homes differ: %q vs %q", addr, h1, h2)
+		}
+		if h1 == "" {
+			t.Fatalf("addr %q homed nowhere", addr)
+		}
+	}
+}
+
+// TestRingBalance pins that 64 replicas split the keyspace without
+// pathological skew: across 3 nodes and 3000 addresses every node owns
+// at least 15% of the keys.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(testPeers(3), 64)
+	counts := make(map[string]int)
+	for i := 0; i < 3000; i++ {
+		counts[r.Home(fmt.Sprintf("fingerprint-%d", i))]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own keys: %v", len(counts), counts)
+	}
+	for node, n := range counts {
+		if n < 3000*15/100 {
+			t.Fatalf("node %s owns only %d/3000 keys: %v", node, n, counts)
+		}
+	}
+}
+
+// TestRingConsistency pins the consistent-hashing property the reload
+// semantics rely on: removing one peer only remaps the keys that peer
+// owned — every other key keeps its home.
+func TestRingConsistency(t *testing.T) {
+	peers := testPeers(4)
+	full := NewRing(peers, 64)
+	shrunk := NewRing(peers[:3], 64)
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		addr := fmt.Sprintf("fingerprint-%d", i)
+		before, after := full.Home(addr), shrunk.Home(addr)
+		if before == peers[3].Name {
+			moved++
+			continue // this key's owner left; it must remap somewhere
+		}
+		if before != after {
+			t.Fatalf("addr %q moved %q → %q though its owner stayed", addr, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed peer owned zero keys; balance test should have caught this")
+	}
+}
+
+// TestRingEmpty pins the degenerate cases.
+func TestRingEmpty(t *testing.T) {
+	if h := (&Ring{}).Home("x"); h != "" {
+		t.Fatalf("empty ring homed %q", h)
+	}
+	var nilRing *Ring
+	if h := nilRing.Home("x"); h != "" {
+		t.Fatalf("nil ring homed %q", h)
+	}
+}
+
+// TestParsePeers covers the membership file format.
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers(strings.NewReader(`
+# cluster membership
+node-a http://127.0.0.1:18091
+
+node-b http://127.0.0.1:18092
+node-c http://127.0.0.1:18093
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers[0].Name != "node-a" || peers[2].URL != "http://127.0.0.1:18093" {
+		t.Fatalf("parsed %+v", peers)
+	}
+
+	for name, bad := range map[string]string{
+		"malformed": "node-a\n",
+		"duplicate": "node-a http://x\nnode-a http://y\n",
+		"empty":     "# nothing\n",
+	} {
+		if _, err := ParsePeers(strings.NewReader(bad)); err == nil {
+			t.Fatalf("%s peers list accepted", name)
+		}
+	}
+}

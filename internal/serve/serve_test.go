@@ -361,6 +361,71 @@ func TestDrain(t *testing.T) {
 	}
 }
 
+// TestDrainReleasesQueued is the regression test for queued work hanging
+// across a drain: a request parked in the admission queue (slot taken,
+// queue not full) used to stay parked until its own deadline when Drain
+// began. It must instead resolve with a deterministic 503 + Retry-After
+// the moment the drain starts, while the executing cell is allowed to
+// finish normally.
+func TestDrainReleasesQueued(t *testing.T) {
+	s := testServer(t, Options{MaxConcurrent: 1, MaxQueue: 4, RetryAfter: 3 * time.Second})
+	stub := newBlockingStub(stubResult("stub", 7))
+	s.runCell = stub.run
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	names := workload.Names()
+	executing := make(chan int, 1)
+	go func() {
+		st, _, _ := postCell(t, ts.URL, CellRequest{Workload: names[0]})
+		executing <- st
+	}()
+	waitFor(t, "slot occupied", func() bool { return stub.started.Load() == 1 })
+
+	type reply struct {
+		status     int
+		retryAfter string
+	}
+	queued := make(chan reply, 1)
+	go func() {
+		st, ra, _ := postCell(t, ts.URL, CellRequest{Workload: names[1]})
+		queued <- reply{st, ra}
+	}()
+	waitFor(t, "one queued", func() bool { return s.waiting.Load() == 1 })
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(context.Background()) }()
+
+	// The queued request must get its 503 promptly — the executing cell is
+	// still blocked, so only the drain wake-up can have resolved it.
+	select {
+	case r := <-queued:
+		if r.status != http.StatusServiceUnavailable {
+			t.Fatalf("queued cell got %d during drain, want 503", r.status)
+		}
+		if r.retryAfter != "3" {
+			t.Fatalf("queued 503 Retry-After = %q, want \"3\"", r.retryAfter)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request still parked after drain began")
+	}
+	if got := s.rejectedDrai.Load(); got != 1 {
+		t.Fatalf("rejectedDrai = %d, want 1", got)
+	}
+
+	// The admitted cell finishes normally and the drain completes clean.
+	close(stub.release)
+	if st := <-executing; st != http.StatusOK {
+		t.Fatalf("executing cell got %d, want 200", st)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+	if got := s.executions.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1 (queued cell must not have run)", got)
+	}
+}
+
 // TestDrainClean pins the happy path: with nothing in flight, Drain
 // returns nil immediately.
 func TestDrainClean(t *testing.T) {
