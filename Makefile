@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-strict test race audit vet check obs-smoke ff-smoke serve-smoke batch-smoke cluster-smoke cover
+.PHONY: all build lint lint-strict test race audit vet check obs-smoke ff-smoke serve-smoke batch-smoke cluster-smoke prefetch-smoke cover
 
 all: check
 
@@ -135,10 +135,29 @@ cluster-smoke:
 	$(GO) test -race -count=1 -run 'TestClusterSmoke|TestClusterHomeKilled' -v ./internal/serve
 	@echo "cluster-smoke: cross-node singleflight, byte-identity, convergence, and home-loss degradation verified"
 
+# prefetch-smoke proves the cross-prefetcher matrix end to end: the
+# mechanism ablation (one cell per prefetch mechanism on one workload) run
+# cold and then warm against the same run cache must print byte-identical
+# tables — every mechanism's identity dimension round-trips through the
+# cache, and a second identical invocation is pure hits.
+prefetch-smoke:
+	rm -rf /tmp/frontsim-prefetch-smoke && mkdir -p /tmp/frontsim-prefetch-smoke
+	$(GO) build -o /tmp/frontsim-prefetch-smoke/experiments ./cmd/experiments
+	/tmp/frontsim-prefetch-smoke/experiments -ablation mechanism -n 1 \
+		-warmup 50000 -instrs 150000 -profile 200000 \
+		-cache /tmp/frontsim-prefetch-smoke/cache -quiet \
+		> /tmp/frontsim-prefetch-smoke/cold.txt
+	/tmp/frontsim-prefetch-smoke/experiments -ablation mechanism -n 1 \
+		-warmup 50000 -instrs 150000 -profile 200000 \
+		-cache /tmp/frontsim-prefetch-smoke/cache -quiet \
+		> /tmp/frontsim-prefetch-smoke/warm.txt
+	diff /tmp/frontsim-prefetch-smoke/cold.txt /tmp/frontsim-prefetch-smoke/warm.txt
+	@echo "prefetch-smoke: mechanism matrix byte-identical cold vs warm"
+
 # cover builds the coverage profile the CI gate ratchets on
 # (.github/coverage-baseline.txt) and prints the total.
 cover:
 	$(GO) test -count=1 -coverprofile=/tmp/frontsim-cover.out -covermode=atomic ./internal/...
 	$(GO) tool cover -func=/tmp/frontsim-cover.out | tail -1
 
-check: vet build lint-strict race audit obs-smoke ff-smoke serve-smoke batch-smoke cluster-smoke
+check: vet build lint-strict race audit obs-smoke ff-smoke serve-smoke batch-smoke cluster-smoke prefetch-smoke

@@ -7,6 +7,7 @@
 //	experiments -figure 1               # just Figure 1
 //	experiments -table 1                # just Table I
 //	experiments -ablation ftq           # the FTQ-depth sweep
+//	experiments -ablation mechanism     # the cross-prefetcher matrix
 //	experiments -instrs 4000000 -n 12   # larger runs, first 12 workloads
 //	experiments -csv out/               # additionally write CSV per figure
 //	experiments -jobs 8                 # bound the work-stealing pool
@@ -39,7 +40,7 @@ func main() {
 	var (
 		figure   = flag.Int("figure", 0, "only this figure (1,7,8,9,10,11); 0 = all")
 		table    = flag.Int("table", 0, "only this table (1); 0 = all")
-		ablation = flag.String("ablation", "", "run an ablation: ftq, fanout, frontend, predictor, replacement, wrongpath, btb")
+		ablation = flag.String("ablation", "", "run an ablation: ftq, fanout, frontend, predictor, replacement, wrongpath, btb, mechanism")
 		ext      = flag.String("extension", "", "run an extension experiment: preload, feedback, ispy")
 		n        = flag.Int("n", workload.Count, "number of suite workloads (prefix)")
 		instrs   = flag.Int64("instrs", 1_500_000, "measured instructions per run")
@@ -294,6 +295,12 @@ func run(figure, table int, ablation, ext string, n int, p experiment.Params, cs
 				return err
 			}
 			return emit(t, "ablation_btb")
+		case "mechanism":
+			t, err := experiment.AblationMechanism(sub, p)
+			if err != nil {
+				return err
+			}
+			return emit(t, "ablation_mechanism")
 		default:
 			return fmt.Errorf("unknown ablation %q", ablation)
 		}

@@ -180,6 +180,9 @@ type Stats struct {
 	WrongPath           int64 // results where CorrectPath=false
 	GHRFiltered         int64 // not-taken BTB-miss branches kept out of GHR
 	BTBL2Fills          int64 // hits found only in the second BTB level
+	ShadowInstalls      int64 // BTB entries pre-filled by shadow decoding
+	ShadowDrops         int64 // shadow fills dropped (set full of trained entries)
+	ShadowHits          int64 // BTB hits a shadow fill enabled (first hit per fill)
 }
 
 // CondAccuracy returns conditional direction accuracy.
@@ -219,10 +222,15 @@ type BPU struct {
 }
 
 // lookupBTB consults the one- or two-level BTB. l2Only reports a hit found
-// only in the second level (entry promoted to L1 as a side effect).
+// only in the second level (entry promoted to L1 as a side effect). Hits on
+// shadow-filled entries are counted here — the entry's first-hit Shadow
+// flag is exactly one prediction the pre-fill enabled.
 func (b *BPU) lookupBTB(pc isa.Addr) (hit, l2Only bool) {
 	if b.btbL1 == nil {
-		_, ok := b.btb.Lookup(pc)
+		e, ok := b.btb.Lookup(pc)
+		if ok && e.Shadow {
+			b.stats.ShadowHits++
+		}
 		return ok, false
 	}
 	if _, ok := b.btbL1.Lookup(pc); ok {
@@ -234,8 +242,26 @@ func (b *BPU) lookupBTB(pc isa.Addr) (hit, l2Only bool) {
 	if !ok {
 		return false, false
 	}
+	if e.Shadow {
+		b.stats.ShadowHits++
+	}
 	b.btbL1.Update(pc, e.Target, e.Class)
 	return true, true
+}
+
+// ShadowInstall pre-fills the main BTB with a branch the shadow decoder
+// exposed from a fetched line. Fills never displace trained entries: only
+// invalid ways are used, and a full set drops the fill (counted). The
+// two-level configuration installs into the second level only — shadow
+// fills are speculative metadata, not promotion-worthy hits.
+func (b *BPU) ShadowInstall(sb ShadowBranch) {
+	installed, dropped := b.btb.InstallShadow(sb.PC, sb.Target, sb.Class)
+	switch {
+	case installed:
+		b.stats.ShadowInstalls++
+	case dropped:
+		b.stats.ShadowDrops++
+	}
 }
 
 // updateBTB trains both levels with the resolved branch.

@@ -2,10 +2,15 @@ package bpu
 
 import "frontsim/internal/isa"
 
-// BTBEntry holds one identified branch.
+// BTBEntry holds one identified branch. Shadow marks an entry pre-filled
+// by the shadow-branch decoder rather than trained by a resolved branch;
+// the flag reports once — Lookup clears it on the first hit — and training
+// (Update) overwrites it, so ShadowHits counts distinct predictions a
+// shadow fill enabled.
 type BTBEntry struct {
 	Target isa.Addr
 	Class  isa.Class
+	Shadow bool
 }
 
 type btbLine struct {
@@ -57,10 +62,38 @@ func (b *BTB) Lookup(pc isa.Addr) (BTBEntry, bool) {
 			b.clk++
 			set[i].lru = b.clk
 			b.hits++
-			return set[i].entry, true
+			e := set[i].entry
+			// A shadow-filled entry reports its provenance on the first
+			// demand lookup only (the returned copy keeps the flag).
+			set[i].entry.Shadow = false
+			return e, true
 		}
 	}
 	return BTBEntry{}, false
+}
+
+// InstallShadow pre-fills the entry for a branch decoded from a fetched
+// line's shadow bytes. Shadow fills are strictly opportunistic: an entry
+// already present is left untouched (installed=false, dropped=false), and
+// when every way holds a valid entry the fill is dropped rather than
+// displacing trained state (dropped=true).
+func (b *BTB) InstallShadow(pc, target isa.Addr, class isa.Class) (installed, dropped bool) {
+	tag := b.tag(pc)
+	set := b.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return false, false
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			b.clk++
+			set[i] = btbLine{tag: tag, valid: true, lru: b.clk,
+				entry: BTBEntry{Target: target, Class: class, Shadow: true}}
+			return true, false
+		}
+	}
+	return false, true
 }
 
 // Update installs or refreshes the entry for pc.

@@ -15,6 +15,10 @@ type HierarchyConfig struct {
 	L2   LevelConfig
 	LLC  LevelConfig
 	DRAM DRAMConfig
+	// ITLB optionally models an instruction TLB on the fetch path with
+	// TLB-aware prefetch dropping; the zero value disables it (the
+	// default machine has no TLB model, matching the paper's simulator).
+	ITLB ITLBConfig
 }
 
 // DefaultHierarchyConfig returns the Table I memory system: 32 KiB/8-way
@@ -37,6 +41,9 @@ func (c HierarchyConfig) Validate() error {
 			return err
 		}
 	}
+	if err := c.ITLB.Validate(); err != nil {
+		return err
+	}
 	return c.DRAM.Validate()
 }
 
@@ -48,6 +55,8 @@ type Hierarchy struct {
 	L2   *Level
 	LLC  *Level
 	DRAM *DRAM
+	// ITLB is nil when the configuration disables the TLB model.
+	ITLB *ITLB
 }
 
 // NewHierarchy constructs the memory system.
@@ -75,7 +84,13 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, LLC: llc, DRAM: dram}, nil
+	h := &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, LLC: llc, DRAM: dram}
+	if cfg.ITLB.Enabled() {
+		if h.ITLB, err = NewITLB(cfg.ITLB); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
 }
 
 // SetObserver attaches an observability sink to the instruction side (the
@@ -83,14 +98,38 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 func (h *Hierarchy) SetObserver(s obs.Sink) { h.L1I.SetObserver(s) }
 
 // FetchInstr requests the instruction cache line containing pc as a demand
-// fetch and returns its availability cycle.
+// fetch and returns its availability cycle. With the I-TLB modelled, a
+// translation miss adds the page-walk penalty to the completion; the L1-I
+// access itself is untouched, so the cache-side stream is identical with
+// the TLB on or off except where dropped prefetches changed the contents.
 func (h *Hierarchy) FetchInstr(pc isa.Addr, now Cycle) Cycle {
-	return h.L1I.Access(pc.Line(), now, Demand)
+	ready := h.L1I.Access(pc.Line(), now, Demand)
+	if h.ITLB != nil {
+		ready += h.ITLB.TranslateDemand(pc)
+	}
+	return ready
 }
 
 // PrefetchInstr fills the instruction line containing pc speculatively.
+// With the I-TLB modelled in drop mode, a fill whose page is not resident
+// is dropped before it reaches the L1-I (TLB-aware prefetch dropping).
 func (h *Hierarchy) PrefetchInstr(pc isa.Addr, now Cycle) Cycle {
+	if h.ITLB != nil {
+		penalty, drop := h.ITLB.TranslatePrefetch(pc)
+		if drop {
+			return now
+		}
+		return h.L1I.Access(pc.Line(), now, Prefetch) + penalty
+	}
 	return h.L1I.Access(pc.Line(), now, Prefetch)
+}
+
+// ITLBStats returns the instruction-TLB counters (zero when disabled).
+func (h *Hierarchy) ITLBStats() TLBStats {
+	if h.ITLB == nil {
+		return TLBStats{}
+	}
+	return h.ITLB.Stats()
 }
 
 // InstrReady reports the availability cycle of the instruction line
@@ -122,6 +161,9 @@ func (h *Hierarchy) ResetStats() {
 	h.L2.ResetStats()
 	h.LLC.ResetStats()
 	h.DRAM.ResetStats()
+	if h.ITLB != nil {
+		h.ITLB.ResetStats()
+	}
 }
 
 // String summarizes the geometry, for Table I output.

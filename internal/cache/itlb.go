@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"fmt"
+
+	"frontsim/internal/isa"
+)
+
+// ITLBConfig sizes the instruction TLB. The zero value (Entries == 0)
+// disables the model entirely, preserving the pre-TLB machine; a positive
+// Entries enables translation on the instruction fetch path with TLB-aware
+// prefetch dropping in the style of the front-end TLB characterization
+// literature: speculative fills whose page is not resident can be dropped
+// instead of triggering a page walk.
+type ITLBConfig struct {
+	// Entries and Ways size the set-associative TLB; Entries == 0 disables
+	// the model and every other field is ignored.
+	Entries int
+	Ways    int
+	// PageBytes is the translation granule (a power of two, >= LineSize).
+	PageBytes int
+	// MissLatency is the page-walk penalty added to the completion of an
+	// instruction access whose page misses the TLB.
+	MissLatency Cycle
+	// DropPrefetchOnMiss drops prefetch fills whose page is not resident
+	// instead of walking for them: a speculative fill is not worth a page
+	// walk, and dropping keeps prefetchers from thrashing the TLB.
+	DropPrefetchOnMiss bool
+}
+
+// DefaultITLBConfig returns a 64-entry 4-way TLB over 4 KiB pages with a
+// 30-cycle walk, dropping prefetches on a miss.
+func DefaultITLBConfig() ITLBConfig {
+	return ITLBConfig{Entries: 64, Ways: 4, PageBytes: 4096, MissLatency: 30, DropPrefetchOnMiss: true}
+}
+
+// Enabled reports whether the configuration models a TLB at all.
+func (c ITLBConfig) Enabled() bool { return c.Entries > 0 }
+
+// Validate checks the configuration; the disabled zero value is valid.
+func (c ITLBConfig) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.Ways <= 0 || c.Entries%c.Ways != 0 {
+		return fmt.Errorf("itlb: geometry %d/%d invalid", c.Entries, c.Ways)
+	}
+	sets := c.Entries / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("itlb: set count %d not a power of two", sets)
+	}
+	if c.PageBytes < isa.LineSize || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("itlb: PageBytes %d must be a power of two >= %d", c.PageBytes, isa.LineSize)
+	}
+	if c.MissLatency < 0 {
+		return fmt.Errorf("itlb: negative MissLatency %d", c.MissLatency)
+	}
+	return nil
+}
+
+// TLBStats counts translation traffic on the instruction side.
+type TLBStats struct {
+	Accesses        int64 // demand translations
+	Misses          int64 // demand misses (page walks)
+	PrefetchProbes  int64 // prefetch-side translations
+	PrefetchMisses  int64 // prefetch probes whose page was not resident
+	PrefetchDropped int64 // prefetches dropped instead of walking
+}
+
+// MissRate returns the demand translation miss rate.
+func (s *TLBStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type itlbLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// ITLB is a set-associative instruction TLB with LRU replacement. Like the
+// cache levels, its timing is eager: every translation's penalty is decided
+// at access time and no per-cycle state exists, which keeps the model
+// compatible with the fast-forward scheduler's event reasoning.
+type ITLB struct {
+	cfg   ITLBConfig
+	sets  int
+	lines []itlbLine
+	clk   uint64
+
+	stats TLBStats
+}
+
+// NewITLB builds the TLB; the config must validate and be enabled.
+func NewITLB(cfg ITLBConfig) (*ITLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("itlb: constructing a disabled TLB")
+	}
+	return &ITLB{cfg: cfg, sets: cfg.Entries / cfg.Ways, lines: make([]itlbLine, cfg.Entries)}, nil
+}
+
+// Config returns the TLB's configuration.
+func (t *ITLB) Config() ITLBConfig { return t.cfg }
+
+// Stats returns a snapshot of the counters.
+func (t *ITLB) Stats() TLBStats { return t.stats }
+
+// ResetStats clears counters, keeping translations warm (warmup boundary).
+func (t *ITLB) ResetStats() { t.stats = TLBStats{} }
+
+func (t *ITLB) page(pc isa.Addr) uint64 { return uint64(pc) / uint64(t.cfg.PageBytes) }
+
+func (t *ITLB) set(page uint64) []itlbLine {
+	i := int(page & uint64(t.sets-1))
+	return t.lines[i*t.cfg.Ways : (i+1)*t.cfg.Ways]
+}
+
+// probe looks the page up; touch updates recency on a hit.
+func (t *ITLB) probe(page uint64, touch bool) bool {
+	tag := page / uint64(t.sets)
+	set := t.set(page)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			if touch {
+				t.clk++
+				set[i].lru = t.clk
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// install fills the page's entry, evicting an invalid way first, else LRU.
+func (t *ITLB) install(page uint64) {
+	tag := page / uint64(t.sets)
+	set := t.set(page)
+	t.clk++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = itlbLine{tag: tag, valid: true, lru: t.clk}
+}
+
+// TranslateDemand translates a demand instruction fetch and returns the
+// page-walk penalty to add to its completion (zero on a hit). Misses walk
+// and install the translation.
+func (t *ITLB) TranslateDemand(pc isa.Addr) Cycle {
+	t.stats.Accesses++
+	page := t.page(pc)
+	if t.probe(page, true) {
+		return 0
+	}
+	t.stats.Misses++
+	t.install(page)
+	return t.cfg.MissLatency
+}
+
+// TranslatePrefetch translates a speculative fill. With DropPrefetchOnMiss
+// a non-resident page drops the prefetch (drop=true, no walk, no install,
+// and the probe leaves recency untouched — a pure lookup); otherwise the
+// miss walks and installs like a demand access and the penalty is added to
+// the fill's completion.
+func (t *ITLB) TranslatePrefetch(pc isa.Addr) (penalty Cycle, drop bool) {
+	t.stats.PrefetchProbes++
+	page := t.page(pc)
+	if t.cfg.DropPrefetchOnMiss {
+		if t.probe(page, false) {
+			return 0, false
+		}
+		t.stats.PrefetchMisses++
+		t.stats.PrefetchDropped++
+		return 0, true
+	}
+	if t.probe(page, true) {
+		return 0, false
+	}
+	t.stats.PrefetchMisses++
+	t.install(page)
+	return t.cfg.MissLatency, false
+}

@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"testing"
+
+	"frontsim/internal/isa"
+)
+
+func TestITLBValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ITLBConfig
+		ok   bool
+	}{
+		{"disabled-zero", ITLBConfig{}, true},
+		{"default", DefaultITLBConfig(), true},
+		{"fully-assoc", ITLBConfig{Entries: 8, Ways: 8, PageBytes: 4096, MissLatency: 10}, true},
+		{"ways-zero", ITLBConfig{Entries: 8, Ways: 0, PageBytes: 4096}, false},
+		{"ways-nondivisor", ITLBConfig{Entries: 8, Ways: 3, PageBytes: 4096}, false},
+		{"sets-npot", ITLBConfig{Entries: 12, Ways: 2, PageBytes: 4096}, false},
+		{"page-npot", ITLBConfig{Entries: 8, Ways: 2, PageBytes: 3000}, false},
+		{"page-under-line", ITLBConfig{Entries: 8, Ways: 2, PageBytes: isa.LineSize / 2}, false},
+		{"negative-latency", ITLBConfig{Entries: 8, Ways: 2, PageBytes: 4096, MissLatency: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+	if _, err := NewITLB(ITLBConfig{}); err == nil {
+		t.Fatal("NewITLB accepted a disabled config")
+	}
+}
+
+// pagePC returns an address inside page n for the given config.
+func pagePC(cfg ITLBConfig, n int) isa.Addr {
+	return isa.Addr(n * cfg.PageBytes)
+}
+
+func TestITLBDemandMissInstallHit(t *testing.T) {
+	cfg := ITLBConfig{Entries: 4, Ways: 2, PageBytes: 4096, MissLatency: 30}
+	tl, err := NewITLB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pen := tl.TranslateDemand(pagePC(cfg, 1)); pen != 30 {
+		t.Fatalf("cold demand penalty %d, want MissLatency 30", pen)
+	}
+	// Same page, different offset: the walk installed the translation.
+	if pen := tl.TranslateDemand(pagePC(cfg, 1) + 100); pen != 0 {
+		t.Fatalf("warm demand penalty %d, want 0", pen)
+	}
+	st := tl.Stats()
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want Accesses=2 Misses=1", st)
+	}
+	if got := st.MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %v, want 0.5", got)
+	}
+}
+
+// TestITLBLRUEviction pins LRU within a set: touching a resident page
+// protects it from the next eviction.
+func TestITLBLRUEviction(t *testing.T) {
+	// One set, two ways: pages conflict pairwise.
+	cfg := ITLBConfig{Entries: 2, Ways: 2, PageBytes: 4096, MissLatency: 30}
+	tl, err := NewITLB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.TranslateDemand(pagePC(cfg, 0)) // miss, install
+	tl.TranslateDemand(pagePC(cfg, 1)) // miss, install
+	tl.TranslateDemand(pagePC(cfg, 0)) // hit, touch: page 1 is now LRU
+	tl.TranslateDemand(pagePC(cfg, 2)) // miss, evicts page 1
+	if pen := tl.TranslateDemand(pagePC(cfg, 0)); pen != 0 {
+		t.Fatal("recently-touched page was evicted instead of the LRU victim")
+	}
+	if pen := tl.TranslateDemand(pagePC(cfg, 1)); pen != 30 {
+		t.Fatal("LRU page survived eviction")
+	}
+}
+
+// TestITLBPrefetchDrop pins drop mode: a prefetch to a non-resident page
+// is dropped without walking, without installing, and without touching
+// recency — a pure probe.
+func TestITLBPrefetchDrop(t *testing.T) {
+	cfg := ITLBConfig{Entries: 2, Ways: 2, PageBytes: 4096, MissLatency: 30, DropPrefetchOnMiss: true}
+	tl, err := NewITLB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pen, drop := tl.TranslatePrefetch(pagePC(cfg, 5))
+	if !drop || pen != 0 {
+		t.Fatalf("cold prefetch: penalty=%d drop=%v, want 0,true", pen, drop)
+	}
+	// The drop must not have installed the page.
+	if pen := tl.TranslateDemand(pagePC(cfg, 5)); pen != 30 {
+		t.Fatal("dropped prefetch installed its page")
+	}
+	// Resident page: prefetch proceeds penalty-free.
+	pen, drop = tl.TranslatePrefetch(pagePC(cfg, 5))
+	if drop || pen != 0 {
+		t.Fatalf("warm prefetch: penalty=%d drop=%v, want 0,false", pen, drop)
+	}
+	st := tl.Stats()
+	if st.PrefetchProbes != 2 || st.PrefetchMisses != 1 || st.PrefetchDropped != 1 {
+		t.Fatalf("stats %+v, want PrefetchProbes=2 PrefetchMisses=1 PrefetchDropped=1", st)
+	}
+
+	// Pure probe: a prefetch hit must not refresh LRU. Fill the set, touch
+	// page A only via prefetch, and check A is still the eviction victim.
+	tl2, err := NewITLB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl2.TranslateDemand(pagePC(cfg, 0)) // A
+	tl2.TranslateDemand(pagePC(cfg, 1)) // B: A is LRU
+	tl2.TranslatePrefetch(pagePC(cfg, 0))
+	tl2.TranslateDemand(pagePC(cfg, 2)) // evicts A iff the probe left recency alone
+	if pen := tl2.TranslateDemand(pagePC(cfg, 0)); pen != 30 {
+		t.Fatal("prefetch probe refreshed LRU recency in drop mode")
+	}
+}
+
+// TestITLBPrefetchWalk pins the non-drop mode: prefetch misses walk and
+// install like demand accesses, with the penalty surfaced to the fill.
+func TestITLBPrefetchWalk(t *testing.T) {
+	cfg := ITLBConfig{Entries: 4, Ways: 2, PageBytes: 4096, MissLatency: 25}
+	tl, err := NewITLB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pen, drop := tl.TranslatePrefetch(pagePC(cfg, 3))
+	if drop || pen != 25 {
+		t.Fatalf("cold prefetch: penalty=%d drop=%v, want 25,false", pen, drop)
+	}
+	// The walk installed the page for later demand fetches.
+	if pen := tl.TranslateDemand(pagePC(cfg, 3)); pen != 0 {
+		t.Fatal("prefetch walk did not install the translation")
+	}
+	st := tl.Stats()
+	if st.PrefetchDropped != 0 || st.PrefetchMisses != 1 {
+		t.Fatalf("stats %+v, want PrefetchMisses=1 PrefetchDropped=0", st)
+	}
+}
+
+// TestITLBResetStats pins the warmup boundary: counters clear, resident
+// translations stay warm.
+func TestITLBResetStats(t *testing.T) {
+	cfg := DefaultITLBConfig()
+	tl, err := NewITLB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.TranslateDemand(pagePC(cfg, 7))
+	tl.ResetStats()
+	if st := tl.Stats(); st != (TLBStats{}) {
+		t.Fatalf("stats after reset: %+v", st)
+	}
+	if pen := tl.TranslateDemand(pagePC(cfg, 7)); pen != 0 {
+		t.Fatal("ResetStats dropped resident translations")
+	}
+}

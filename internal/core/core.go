@@ -124,6 +124,9 @@ type Stats struct {
 	L1D cache.Stats
 	L2  cache.Stats
 	LLC cache.Stats
+	// ITLB holds instruction-TLB counters; all-zero when the config leaves
+	// the TLB model disabled (Memory.ITLB.Entries == 0).
+	ITLB cache.TLBStats
 
 	DRAMAccesses int64
 	DRAMQueueing int64
@@ -444,6 +447,7 @@ func (s *Sim) snapshot() Stats {
 		L1D:              s.mem.L1D.Stats(),
 		L2:               s.mem.L2.Stats(),
 		LLC:              s.mem.LLC.Stats(),
+		ITLB:             s.mem.ITLBStats(),
 		DRAMAccesses:     s.mem.DRAM.Accesses(),
 		DRAMQueueing:     s.mem.DRAM.QueueingCycles(),
 		WarmupOvershoot:  s.warmupOvershoot,

@@ -31,7 +31,13 @@ import (
 //	   path is proven byte-identical, but schema-3 entries were written by
 //	   binaries whose cycle loop predates the skip scheduler, so they are
 //	   retired rather than trusted across the semantics boundary
-const FingerprintSchema = 4
+//	5  the machine gained three prefetch-mechanism dimensions: the MANA
+//	   spatial-region prefetcher (via the Prefetcher fingerprint string),
+//	   shadow-branch decoding (frontend.Config.Shadow) and the I-TLB model
+//	   (cache.HierarchyConfig.ITLB) — both serialized, so every canonical
+//	   config form changed — and Stats gained the ITLB counter block plus
+//	   bpu.Stats shadow counters, changing the cached value shape
+const FingerprintSchema = 5
 
 // PrefetchFingerprinter lets an attached hardware prefetcher contribute a
 // stable identity to Config.Fingerprint. Prefetchers are constructed fresh

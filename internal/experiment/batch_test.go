@@ -14,7 +14,7 @@ import (
 )
 
 // batchHarnessParams scales the budgets below tinyParams so the
-// equivalence harness can afford two full passes (matrix plus all seven
+// equivalence harness can afford two full passes (matrix plus all eight
 // ablations, batched and per-cell) in one test.
 func batchHarnessParams() Params {
 	p := DefaultParams()
@@ -63,7 +63,7 @@ type batchPass struct {
 }
 
 // runBatchPass executes the full evaluation surface — the per-workload
-// matrix plus all seven ablations — against a fresh cache, with audit and
+// matrix plus all eight ablations — against a fresh cache, with audit and
 // both observability hooks enabled, in the requested execution mode.
 func runBatchPass(t *testing.T, spec workload.Spec, batch bool) batchPass {
 	t.Helper()
@@ -112,6 +112,7 @@ func runBatchPass(t *testing.T, spec workload.Spec, batch bool) batchPass {
 		{"replacement", func() (interface{ String() string }, error) { return AblationReplacement(specs, p) }},
 		{"wrongpath", func() (interface{ String() string }, error) { return AblationWrongPath(specs, []int{0, 4}, p) }},
 		{"btb", func() (interface{ String() string }, error) { return AblationBTB(specs, []int{0, 64}, p) }},
+		{"mechanism", func() (interface{ String() string }, error) { return AblationMechanism(specs, p) }},
 	} {
 		tab, err := abl.run()
 		if err != nil {
@@ -131,7 +132,7 @@ func runBatchPass(t *testing.T, spec workload.Spec, batch bool) batchPass {
 }
 
 // TestBatchEquivalence is the harness the tentpole is pinned by: the
-// complete evaluation surface — the seven-series matrix and all seven
+// complete evaluation surface — the ten-series matrix and all eight
 // ablations, with audit and observability enabled — run batched and
 // per-cell from cold caches must produce byte-identical stats, identical
 // tables, identical metric exports, and byte-identical cache directories
@@ -183,8 +184,8 @@ func TestBatchEquivalence(t *testing.T) {
 	}
 
 	// The batch is the pool's scheduling unit: the batched matrix runs its
-	// seven cold cells as three stream jobs (base program, rewritten
-	// program, trigger table), the per-cell matrix as seven.
+	// ten cold cells as three stream jobs (base program, rewritten
+	// program, trigger table), the per-cell matrix as ten.
 	if batched.poolJobs >= solo.poolJobs {
 		t.Errorf("batched matrix executed %d pool jobs, per-cell %d; batching did not coarsen job granularity",
 			batched.poolJobs, solo.poolJobs)

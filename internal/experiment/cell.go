@@ -21,9 +21,9 @@ import (
 // the same cell produced by cmd/experiments are byte-identical, sharing
 // one run-cache entry.
 
-// SeriesLabels returns the seven per-workload series names, in suite
+// SeriesLabels returns the ten per-workload series names, in suite
 // order: cons, fdp24, eip+fdp24, asmdb+cons, asmdb-ideal+cons,
-// asmdb+fdp24, asmdb-ideal+fdp24.
+// asmdb+fdp24, asmdb-ideal+fdp24, mana+fdp24, shadow+fdp24, itlb+fdp24.
 func SeriesLabels() []string {
 	out := make([]string, numSeries)
 	copy(out, seriesLabels[:])
@@ -120,13 +120,21 @@ func RunCellCtx(ctx context.Context, pool *runner.Pool, spec workload.Spec, seri
 	}
 
 	switch id {
-	case serCons, serFDP, serEIP:
+	case serCons, serFDP, serEIP, serMANAFDP, serShadowFDP, serITLBFDP:
 		var cfgc core.Config
 		switch id {
 		case serCons:
 			cfgc = p.consConfig()
 		case serFDP:
 			cfgc = p.fdpConfig()
+		case serMANAFDP:
+			if cfgc, err = p.manaConfig(); err != nil {
+				return CellResult{}, err
+			}
+		case serShadowFDP:
+			cfgc = p.shadowConfig()
+		case serITLBFDP:
+			cfgc = p.itlbConfig()
 		default:
 			if cfgc, err = p.eipConfig(); err != nil {
 				return CellResult{}, err

@@ -3,11 +3,13 @@
 // The unit of work is the Matrix: for one workload, the six configurations
 // Figure 1 compares (conservative baseline, AsmDB and ideal AsmDB on the
 // conservative front-end, the industry-standard 24-entry FDP, and AsmDB /
-// ideal AsmDB on top of it), plus an EIP hardware-prefetching series.
-// Every figure is then a projection of the suite's matrices.
+// ideal AsmDB on top of it), plus the characterization-matrix mechanisms
+// layered on FDP: the EIP and MANA hardware prefetchers, shadow-branch
+// decoding, and the I-TLB model. Every figure is then a projection of the
+// suite's matrices.
 //
 // Execution is decomposed into per-(workload, configuration) jobs on the
-// internal/runner work-stealing pool — so one slow workload's seven
+// internal/runner work-stealing pool — so one slow workload's ten
 // configurations spread across idle workers instead of serializing — and
 // every simulation run is keyed into the runner's content-addressed cache
 // by (config fingerprint, workload spec, seed, budgets, plan provenance),
@@ -19,6 +21,8 @@ import (
 	"fmt"
 
 	"frontsim/internal/asmdb"
+	"frontsim/internal/bpu"
+	"frontsim/internal/cache"
 	"frontsim/internal/cfg"
 	"frontsim/internal/core"
 	"frontsim/internal/hwpf"
@@ -125,7 +129,9 @@ type Matrix struct {
 	Plan        *asmdb.Plan
 	StaticBloat float64
 
-	// The six Figure-1 series plus the EIP hardware comparator.
+	// The six Figure-1 series, the EIP hardware comparator, and the
+	// characterization-matrix mechanisms (MANA, shadow-branch decoding,
+	// I-TLB), all layered on the industry-standard FDP front-end.
 	Cons           core.Stats // conservative 2-entry FTQ baseline
 	AsmdbCons      core.Stats // AsmDB on conservative
 	AsmdbConsIdeal core.Stats // AsmDB, no insertion overhead, conservative
@@ -133,6 +139,9 @@ type Matrix struct {
 	AsmdbFDP       core.Stats // AsmDB on FDP
 	AsmdbFDPIdeal  core.Stats // AsmDB, no insertion overhead, on FDP
 	EIPFDP         core.Stats // EIP hardware prefetcher on FDP
+	MANAFDP        core.Stats // MANA spatial-region prefetcher on FDP
+	ShadowFDP      core.Stats // shadow-branch decoding on FDP
+	ITLBFDP        core.Stats // I-TLB model (prefetch dropping) on FDP
 }
 
 // Speedup returns st's IPC normalized to the conservative baseline.
@@ -145,7 +154,7 @@ func (m *Matrix) Speedup(st core.Stats) float64 {
 	return st.IPC() / m.Cons.IPC()
 }
 
-// seriesID indexes the seven per-workload configurations.
+// seriesID indexes the ten per-workload configurations.
 type seriesID int
 
 const (
@@ -156,6 +165,9 @@ const (
 	serAsmdbConsIdeal
 	serAsmdbFDP
 	serAsmdbFDPIdeal
+	serMANAFDP
+	serShadowFDP
+	serITLBFDP
 	numSeries
 )
 
@@ -163,6 +175,7 @@ const (
 var seriesLabels = [numSeries]string{
 	"cons", "fdp24", "eip+fdp24",
 	"asmdb+cons", "asmdb-ideal+cons", "asmdb+fdp24", "asmdb-ideal+fdp24",
+	"mana+fdp24", "shadow+fdp24", "itlb+fdp24",
 }
 
 func (m *Matrix) seriesPtr(id seriesID) *core.Stats {
@@ -181,6 +194,12 @@ func (m *Matrix) seriesPtr(id seriesID) *core.Stats {
 		return &m.AsmdbFDP
 	case serAsmdbFDPIdeal:
 		return &m.AsmdbFDPIdeal
+	case serMANAFDP:
+		return &m.MANAFDP
+	case serShadowFDP:
+		return &m.ShadowFDP
+	case serITLBFDP:
+		return &m.ITLBFDP
 	}
 	panic(fmt.Sprintf("experiment: series %d", id))
 }
@@ -191,8 +210,11 @@ func (m *Matrix) seriesPtr(id seriesID) *core.Stats {
 // shape. Schema 3: core.Stats gained WarmupOvershoot. Schema 4: the run
 // loop gained the event-driven fast-forward path; entries written by
 // pre-fast-forward binaries are retired rather than reused across the
-// semantics boundary (TestStaleSchemaEntryRejected).
-const cacheSchema = 4
+// semantics boundary (TestStaleSchemaEntryRejected). Schema 5: the
+// mechanism matrix — MANA, shadow-branch decoding, and the I-TLB became
+// config dimensions and Stats gained their counter blocks, so schema-4
+// entries decode with those counters silently zero and are retired.
+const cacheSchema = 5
 
 // Program-variant tags in run-cache keys. The config fingerprint cannot
 // see which instruction stream it runs against, so the key must.
@@ -272,14 +294,48 @@ func (p Params) eipConfig() (core.Config, error) {
 	return c, nil
 }
 
+// manaConfig layers the MANA spatial-region prefetcher on the FDP
+// front-end, mirroring eipConfig's shape for the hardware comparator.
+func (p Params) manaConfig() (core.Config, error) {
+	c := p.fdpConfig()
+	mana, err := hwpf.NewMANA(hwpf.DefaultMANAConfig())
+	if err != nil {
+		return c, err
+	}
+	c.Frontend.Prefetcher = mana
+	return c, nil
+}
+
+// shadowConfig enables shadow-branch decoding on the FDP front-end.
+func (p Params) shadowConfig() core.Config {
+	c := p.fdpConfig()
+	c.Frontend.Shadow = bpu.DefaultShadowConfig()
+	return c
+}
+
+// itlbConfig enables the I-TLB model (with prefetch dropping) on the FDP
+// front-end.
+func (p Params) itlbConfig() core.Config {
+	c := p.fdpConfig()
+	c.Memory.ITLB = cache.DefaultITLBConfig()
+	return c
+}
+
 func newMatrixKeys(spec workload.Spec, p Params) (matrixKeys, error) {
 	eipCfg, err := p.eipConfig()
+	if err != nil {
+		return matrixKeys{}, err
+	}
+	manaCfg, err := p.manaConfig()
 	if err != nil {
 		return matrixKeys{}, err
 	}
 	consFP := p.consConfig().Fingerprint()
 	fdpFP := p.fdpConfig().Fingerprint()
 	eipFP := eipCfg.Fingerprint()
+	manaFP := manaCfg.Fingerprint()
+	shadowFP := p.shadowConfig().Fingerprint()
+	itlbFP := p.itlbConfig().Fingerprint()
 	seed := spec.Seed ^ p.ExecSeedSalt
 	opts := p.AsmDB
 
@@ -303,13 +359,16 @@ func newMatrixKeys(spec workload.Spec, p Params) (matrixKeys, error) {
 	mk.series[serAsmdbConsIdeal] = planned(progTriggers, consFP)
 	mk.series[serAsmdbFDP] = planned(progAsmdb, fdpFP)
 	mk.series[serAsmdbFDPIdeal] = planned(progTriggers, fdpFP)
+	mk.series[serMANAFDP] = base(manaFP)
+	mk.series[serShadowFDP] = base(shadowFP)
+	mk.series[serITLBFDP] = base(itlbFP)
 	mk.plan = planKey{Schema: cacheSchema, Kind: "plan", Workload: spec,
 		AsmDB: opts, ProfileInstrs: p.ProfileInstrs, ProfileConfig: consFP, ExecSeed: seed}
 	return mk, nil
 }
 
 // RunMatrix builds the workload, profiles it, generates and applies the
-// AsmDB plan, and runs all seven configurations, parallelized over a
+// AsmDB plan, and runs all ten configurations, parallelized over a
 // private pool and cached through p.Cache when set.
 func RunMatrix(spec workload.Spec, index int, p Params) (*Matrix, error) {
 	if err := p.Validate(); err != nil {
@@ -401,6 +460,19 @@ func runMatrixPooled(pool *runner.Pool, spec workload.Spec, index int, p Params,
 			return nil, err
 		}
 		w1 = append(w1, seriesCell(serEIP, c))
+	}
+	if !have[serMANAFDP] {
+		c, err := p.manaConfig()
+		if err != nil {
+			return nil, err
+		}
+		w1 = append(w1, seriesCell(serMANAFDP, c))
+	}
+	if !have[serShadowFDP] {
+		w1 = append(w1, seriesCell(serShadowFDP, p.shadowConfig()))
+	}
+	if !have[serITLBFDP] {
+		w1 = append(w1, seriesCell(serITLBFDP, p.itlbConfig()))
 	}
 	dispatchCells(g, p, prog, execSeed, w1)
 	if err := g.Wait(); err != nil {

@@ -10,11 +10,11 @@ import (
 )
 
 // TestFastForwardEquivalence is the differential-equivalence harness for
-// the event-driven fast path: the full per-workload matrix — all seven
+// the event-driven fast path: the full per-workload matrix — all ten
 // series, profiling and planning included — run cycle-by-cycle and
 // fast-forwarded must produce byte-identical canonical Stats JSON, and the
-// FastForward flag must be invisible to every config fingerprint (like
-// Audit and Obs), so both modes share run-cache entries.
+// FastForward flag must be invisible to every mechanism's config
+// fingerprint (like Audit and Obs), so both modes share run-cache entries.
 func TestFastForwardEquivalence(t *testing.T) {
 	spec, ok := workload.Lookup("public_srv_60")
 	if !ok {
@@ -27,24 +27,21 @@ func TestFastForwardEquivalence(t *testing.T) {
 	pOn := p
 	pOn.FastForward = true
 
-	// Fingerprint exclusion first: a leak here would split the cache by
-	// run-loop mode and invalidate the sharing the harness proves safe.
-	if pOff.consConfig().Fingerprint() != pOn.consConfig().Fingerprint() {
-		t.Fatal("FastForward leaked into the conservative fingerprint")
-	}
-	if pOff.fdpConfig().Fingerprint() != pOn.fdpConfig().Fingerprint() {
-		t.Fatal("FastForward leaked into the FDP fingerprint")
-	}
-	offEIP, err := pOff.eipConfig()
-	if err != nil {
-		t.Fatal(err)
-	}
-	onEIP, err := pOn.eipConfig()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if offEIP.Fingerprint() != onEIP.Fingerprint() {
-		t.Fatal("FastForward leaked into the EIP fingerprint")
+	// Fingerprint exclusion first, across the whole mechanism registry: a
+	// leak here would split the cache by run-loop mode and invalidate the
+	// sharing the harness proves safe.
+	for _, mech := range Mechanisms() {
+		off, err := mech.Config(pOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := mech.Config(pOn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Fingerprint() != on.Fingerprint() {
+			t.Fatalf("FastForward leaked into the %s fingerprint", mech.Label)
+		}
 	}
 
 	mOff, err := RunMatrix(spec, 1, pOff)
@@ -98,10 +95,10 @@ func TestFastForwardAblationEquivalence(t *testing.T) {
 }
 
 // TestStaleSchemaEntryRejected pins the cache-key schema bump: an entry
-// written under the pre-fast-forward key layout (schema 3) must miss, not
-// be silently reused, when the current binary probes the same simulation.
-// Before cacheSchema moved to 4 this test failed — the stale entry's key
-// was byte-identical to the live one.
+// written under the pre-mechanism-matrix key layout (schema 4) must miss,
+// not be silently reused, when the current binary probes the same
+// simulation. Before cacheSchema moved to 5 this test failed — the stale
+// entry's key was byte-identical to the live one.
 func TestStaleSchemaEntryRejected(t *testing.T) {
 	if cacheSchema != core.FingerprintSchema {
 		t.Fatalf("cacheSchema %d and core.FingerprintSchema %d moved apart; bump them in lockstep", cacheSchema, core.FingerprintSchema)
@@ -121,10 +118,10 @@ func TestStaleSchemaEntryRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Write the FDP cell exactly as a schema-3 binary would have keyed it.
+	// Write the FDP cell exactly as a schema-4 binary would have keyed it.
 	stale := keys.series[serFDP]
-	stale.Schema = 3
-	if err := c.Put(stale, core.Stats{Config: "stale-schema-3"}); err != nil {
+	stale.Schema = 4
+	if err := c.Put(stale, core.Stats{Config: "stale-schema-4"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -134,7 +131,7 @@ func TestStaleSchemaEntryRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	if hit {
-		t.Fatalf("stale schema-3 cache entry silently reused: %+v", got)
+		t.Fatalf("stale schema-4 cache entry silently reused: %+v", got)
 	}
 
 	// The stale entry is still addressable under its own (old) key — the
@@ -143,7 +140,7 @@ func TestStaleSchemaEntryRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit || got.Config != "stale-schema-3" {
+	if !hit || got.Config != "stale-schema-4" {
 		t.Fatal("stale entry unexpectedly unreadable under its own key")
 	}
 }

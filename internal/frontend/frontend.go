@@ -51,6 +51,12 @@ type Config struct {
 	// Prefetcher optionally attaches a hardware L1-I prefetcher observing
 	// demand fetches (e.g. next-line or an entangling prefetcher).
 	Prefetcher InstrPrefetcher
+	// Shadow enables shadow-branch decoding: every fetched line's
+	// decodable branches (learned on first execution, standing in for raw
+	// byte decode in this trace-driven model) pre-fill BTB entries that
+	// steer FDP past otherwise-undiscovered branches. The zero value
+	// disables it.
+	Shadow bpu.ShadowConfig
 	// BTBL2FillPenalty is the fill bubble paid when a branch is found
 	// only in the second BTB level (two-level BTB configurations; see
 	// bpu.Config.L1BTBEntries). Ignored with a single-level BTB.
@@ -117,6 +123,9 @@ func (c Config) Validate() error {
 	if c.BTBL2FillPenalty < 0 {
 		return fmt.Errorf("frontend: BTBL2FillPenalty %d", c.BTBL2FillPenalty)
 	}
+	if err := c.Shadow.Validate(); err != nil {
+		return err
+	}
 	return c.BPU.Validate()
 }
 
@@ -147,6 +156,8 @@ type Stats struct {
 type Frontend struct {
 	cfg Config
 	bp  *bpu.BPU
+	// sd is the shadow-branch decoder, nil when cfg.Shadow is disabled.
+	sd   *bpu.ShadowDecoder
 	q    *ftq.FTQ
 	mem  *cache.Hierarchy
 	src  trace.Source
@@ -208,6 +219,11 @@ func New(cfg Config, src trace.Source, mem *cache.Hierarchy, triggers map[isa.Ad
 		blockBuf: make([]isa.Instr, 0, ftq.MaxBlockInstrs),
 	}
 	f.bsrc, _ = trace.AsBlockSource(src)
+	if cfg.Shadow.Enabled() {
+		if f.sd, err = bpu.NewShadowDecoder(cfg.Shadow); err != nil {
+			return nil, err
+		}
+	}
 	if len(triggers) > 0 {
 		f.trigFilter = make([]uint64, trigFilterWords)
 		//lint:allow detmap bitset ORs commute, so insertion order cannot escape
@@ -232,6 +248,9 @@ func (f *Frontend) FTQ() *ftq.FTQ { return f.q }
 
 // BPU exposes the branch predictors.
 func (f *Frontend) BPU() *bpu.BPU { return f.bp }
+
+// ShadowDecoder exposes the shadow-branch decoder (nil when disabled).
+func (f *Frontend) ShadowDecoder() *bpu.ShadowDecoder { return f.sd }
 
 // SetObserver attaches an observability sink to the front-end and its FTQ
 // (nil detaches). Observation is strictly read-only.
@@ -373,6 +392,11 @@ func (f *Frontend) Cycle(now cache.Cycle) {
 
 		last := blk[len(blk)-1]
 		if last.Class.IsBranch() {
+			if f.sd != nil {
+				// First execution "decodes" the branch into its line's
+				// shadow record; later fetches of the line replay it.
+				f.sd.Observe(last)
+			}
 			res := f.bp.PredictAndTrain(last)
 			if !res.CorrectPath {
 				f.stallFill(res, ready, blockSeq+int64(len(blk))-1, last.PC, now)
@@ -394,6 +418,13 @@ func (f *Frontend) Cycle(now cache.Cycle) {
 
 func (f *Frontend) fetchLine(line isa.Addr, now cache.Cycle) cache.Cycle {
 	ready := f.mem.FetchInstr(line, now)
+	if f.sd != nil {
+		// Shadow decode: pre-fill the BTB with the fetched line's known
+		// decodable branches, never displacing trained entries.
+		for _, sb := range f.sd.DecodeLine(line) {
+			f.bp.ShadowInstall(sb)
+		}
+	}
 	if f.cfg.Prefetcher != nil {
 		hit := ready-now <= f.mem.L1I.Config().HitLatency
 		f.cfg.Prefetcher.OnFetch(line, now, hit, func(l isa.Addr) {

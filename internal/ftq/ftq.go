@@ -539,4 +539,7 @@ func (q *FTQ) Flush() {
 	q.head = 0
 	q.size = 0
 	q.lineRefs.clear()
+	// Discarded entries can never be resident again, so the waiting
+	// baseline must not survive them.
+	q.prefixMax = 0
 }

@@ -321,6 +321,28 @@ func TestFlush(t *testing.T) {
 	}
 }
 
+// TestFlushResetsWaitingBaseline is the regression test for a stale
+// prefix-max bug: Flush discarded all entries but kept prefixMax, so an
+// entry pushed after a flush was classified "waiting" against the ready
+// time of an entry that was no longer resident (and never would be again).
+// Before the fix, the second post-flush push below counted WaitingEntries
+// even though the only older resident entry completes first.
+func TestFlushResetsWaitingBaseline(t *testing.T) {
+	q := New(4)
+	q.Push(block(0x1000, 2), 0, fetchAt(1000, nil)) // prefixMax = 1000
+	q.Flush()
+	q.Push(block(0x2000, 2), 0, fetchAt(1, nil)) // ready 1
+	q.Push(block(0x3000, 2), 0, fetchAt(5, nil)) // ready 5: never waits
+	if st := q.Stats(); st.WaitingEntries != 0 {
+		t.Fatalf("WaitingEntries = %d after flush, want 0 (stale pre-flush baseline)", st.WaitingEntries)
+	}
+	// The classification itself must still work post-flush.
+	q.Push(block(0x4000, 2), 0, fetchAt(2, nil)) // ready 2 < 5: waits on 0x3000
+	if st := q.Stats(); st.WaitingEntries != 1 {
+		t.Fatalf("WaitingEntries = %d, want 1", st.WaitingEntries)
+	}
+}
+
 func TestResetStats(t *testing.T) {
 	q := New(2)
 	q.Push(block(0x1000, 2), 0, fetchAt(5, nil))

@@ -616,7 +616,7 @@ func TestServedCellMatchesExperiment(t *testing.T) {
 	if err := json.NewDecoder(wres.Body).Decode(&wl); err != nil {
 		t.Fatal(err)
 	}
-	if len(wl.Workloads) == 0 || len(wl.Series) != 7 {
+	if len(wl.Workloads) == 0 || len(wl.Series) != len(experiment.SeriesLabels()) {
 		t.Fatalf("workloads endpoint: %d workloads, %d series", len(wl.Workloads), len(wl.Series))
 	}
 }
