@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-strict test race audit vet check obs-smoke ff-smoke serve-smoke batch-smoke cluster-smoke prefetch-smoke cover
+.PHONY: all build lint lint-strict test race audit vet check obs-smoke ff-smoke serve-smoke batch-smoke cluster-smoke prefetch-smoke sampling-smoke cover
 
 all: check
 
@@ -154,10 +154,57 @@ prefetch-smoke:
 	diff /tmp/frontsim-prefetch-smoke/cold.txt /tmp/frontsim-prefetch-smoke/warm.txt
 	@echo "prefetch-smoke: mechanism matrix byte-identical cold vs warm"
 
+# sampling-smoke proves SMARTS sampling end to end: a sampled run must
+# report a 95% confidence interval containing the exact run's IPC, be
+# byte-stable across identical re-runs, and address run-cache entries
+# disjoint from the exact run's — a warm exact cache serves a sampled
+# suite nothing, and a warm sampled re-run adds nothing.
+sampling-smoke:
+	rm -rf /tmp/frontsim-sampling-smoke && mkdir -p /tmp/frontsim-sampling-smoke
+	$(GO) build -o /tmp/frontsim-sampling-smoke/fesim ./cmd/fesim
+	$(GO) build -o /tmp/frontsim-sampling-smoke/experiments ./cmd/experiments
+	/tmp/frontsim-sampling-smoke/fesim -workload secret_srv12 -instrs 1500000 -warmup 200000 \
+		> /tmp/frontsim-sampling-smoke/exact.txt
+	/tmp/frontsim-sampling-smoke/fesim -workload secret_srv12 -instrs 1500000 -warmup 200000 \
+		-sampling-interval 30000 -sampling-detail 3000 -sampling-warm 6000 \
+		> /tmp/frontsim-sampling-smoke/sampled1.txt
+	/tmp/frontsim-sampling-smoke/fesim -workload secret_srv12 -instrs 1500000 -warmup 200000 \
+		-sampling-interval 30000 -sampling-detail 3000 -sampling-warm 6000 \
+		> /tmp/frontsim-sampling-smoke/sampled2.txt
+	cmp /tmp/frontsim-sampling-smoke/sampled1.txt /tmp/frontsim-sampling-smoke/sampled2.txt
+	exact=$$(awk '$$1=="IPC" && $$2!="estimate" {print $$2; exit}' /tmp/frontsim-sampling-smoke/exact.txt); \
+	awk -v exact="$$exact" '$$1=="IPC" && $$2=="estimate" { lo=$$4; hi=$$5; gsub(/[\[\],]/,"",lo); gsub(/[\[\],]/,"",hi); \
+		if (exact+0 < lo+0 || exact+0 > hi+0) { printf "FAIL: exact IPC %s outside sampled 95%% CI [%s, %s]\n", exact, lo, hi; exit 1 } \
+		printf "exact IPC %s inside sampled 95%% CI [%s, %s]\n", exact, lo, hi; found=1 } \
+		END { if (!found) { print "FAIL: no IPC estimate line"; exit 1 } }' /tmp/frontsim-sampling-smoke/sampled1.txt
+	/tmp/frontsim-sampling-smoke/experiments -ablation mechanism -n 1 \
+		-warmup 50000 -instrs 150000 -profile 200000 \
+		-cache /tmp/frontsim-sampling-smoke/cache -quiet \
+		> /tmp/frontsim-sampling-smoke/exact-table.txt
+	n1=$$(find /tmp/frontsim-sampling-smoke/cache -type f | wc -l); \
+	/tmp/frontsim-sampling-smoke/experiments -ablation mechanism -n 1 \
+		-warmup 50000 -instrs 150000 -profile 200000 \
+		-sampling-interval 30000 -sampling-detail 3000 -sampling-warm 6000 \
+		-cache /tmp/frontsim-sampling-smoke/cache -quiet \
+		> /tmp/frontsim-sampling-smoke/sampled-table1.txt; \
+	n2=$$(find /tmp/frontsim-sampling-smoke/cache -type f | wc -l); \
+	test "$$n2" -gt "$$n1" || { echo "FAIL: sampled suite stored no new cache entries (shared with exact?)"; exit 1; }; \
+	/tmp/frontsim-sampling-smoke/experiments -ablation mechanism -n 1 \
+		-warmup 50000 -instrs 150000 -profile 200000 \
+		-sampling-interval 30000 -sampling-detail 3000 -sampling-warm 6000 \
+		-cache /tmp/frontsim-sampling-smoke/cache -quiet \
+		> /tmp/frontsim-sampling-smoke/sampled-table2.txt; \
+	n3=$$(find /tmp/frontsim-sampling-smoke/cache -type f | wc -l); \
+	test "$$n3" -eq "$$n2" || { echo "FAIL: warm sampled re-run grew the cache"; exit 1; }
+	diff /tmp/frontsim-sampling-smoke/sampled-table1.txt /tmp/frontsim-sampling-smoke/sampled-table2.txt
+	grep -q '±' /tmp/frontsim-sampling-smoke/sampled-table1.txt
+	! grep -q '±' /tmp/frontsim-sampling-smoke/exact-table.txt
+	@echo "sampling-smoke: CI containment, cache disjointness, and byte-stable re-runs verified"
+
 # cover builds the coverage profile the CI gate ratchets on
 # (.github/coverage-baseline.txt) and prints the total.
 cover:
 	$(GO) test -count=1 -coverprofile=/tmp/frontsim-cover.out -covermode=atomic ./internal/...
 	$(GO) tool cover -func=/tmp/frontsim-cover.out | tail -1
 
-check: vet build lint-strict race audit obs-smoke ff-smoke serve-smoke batch-smoke cluster-smoke prefetch-smoke
+check: vet build lint-strict race audit obs-smoke ff-smoke serve-smoke batch-smoke cluster-smoke prefetch-smoke sampling-smoke

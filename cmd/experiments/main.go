@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"frontsim/internal/core"
 	"frontsim/internal/experiment"
 	"frontsim/internal/obs"
 	"frontsim/internal/runner"
@@ -59,6 +60,10 @@ func main() {
 		obsDir   = flag.String("obs-dir", filepath.Join("results", "obs"), "directory for -obs output files")
 		obsStrd  = flag.Int64("obs-stride", 64, "cycles between time-series samples under -obs")
 		httpAddr = flag.String("http", "", "serve /metrics, /debug/pprof and /debug/vars on this address (e.g. :6060)")
+		sampInt  = flag.Int64("sampling-interval", 0, "SMARTS sampling unit period in instructions (0 = exact simulation; sampled cells never share cache entries with exact ones)")
+		sampDet  = flag.Int64("sampling-detail", 1_000, "measured detailed-window length per sampling unit")
+		sampWarm = flag.Int64("sampling-warm", 2_000, "detailed (unmeasured) warm-up before each measured window")
+		sampVal  = flag.Bool("sampling-validate", false, "run the full suite exact AND sampled across every mechanism and report the estimator's error distribution and 95%-CI coverage")
 	)
 	flag.Parse()
 
@@ -73,6 +78,17 @@ func main() {
 	p.Audit = *audit
 	p.FastForward = *fastFwd
 	p.Batch = *batch
+	if *sampInt > 0 {
+		p.Sampling = core.SamplingConfig{
+			IntervalInstrs: *sampInt,
+			DetailInstrs:   *sampDet,
+			WarmInstrs:     *sampWarm,
+		}
+	} else if *sampVal {
+		// The validated default geometry for suite-scale budgets: ~50
+		// windows across the 1.5M-instruction coverage budget.
+		p.Sampling = core.SamplingConfig{IntervalInstrs: 30_000, DetailInstrs: 3_000, WarmInstrs: 6_000}
+	}
 	if !*noCache {
 		c, err := runner.OpenCache(*cacheDir)
 		if err != nil {
@@ -111,7 +127,7 @@ func main() {
 		go func() { httpErr <- serveDebug(httpCtx, ln, col) }()
 	}
 
-	err := run(*figure, *table, *ablation, *ext, *n, p, *csvDir, *quiet)
+	err := run(*figure, *table, *ablation, *ext, *n, p, *csvDir, *quiet, *sampVal)
 	if col != nil {
 		if eerr := writeObsExports(*obsDir, col); eerr != nil && err == nil {
 			err = eerr
@@ -191,7 +207,7 @@ func serveDebug(ctx context.Context, ln net.Listener, col *obs.SuiteCollector) e
 	return serve.ListenAndServe(ctx, serve.NewHTTPServer(ln.Addr().String(), mux), ln, 5*time.Second)
 }
 
-func run(figure, table int, ablation, ext string, n int, p experiment.Params, csvDir string, quiet bool) error {
+func run(figure, table int, ablation, ext string, n int, p experiment.Params, csvDir string, quiet bool, sampValidate bool) error {
 	specs := workload.All()
 	if n < len(specs) {
 		specs = specs[:n]
@@ -224,6 +240,20 @@ func run(figure, table int, ablation, ext string, n int, p experiment.Params, cs
 				sub = append(sub, specs[i])
 			}
 		}
+	}
+
+	if sampValidate {
+		t, cov, err := experiment.SamplingValidation(specs, p)
+		if err != nil {
+			return err
+		}
+		if err := emit(t, "sampling_validation"); err != nil {
+			return err
+		}
+		if cov < 0.90 {
+			return fmt.Errorf("sampling validation: CI coverage %.1f%% below the 90%% contract", 100*cov)
+		}
+		return nil
 	}
 
 	if ext != "" {

@@ -3,7 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"frontsim/internal/core"
 
 	"frontsim/internal/experiment"
 	"frontsim/internal/obs"
@@ -18,14 +21,14 @@ func tinyParams() experiment.Params {
 }
 
 func TestRunTable1(t *testing.T) {
-	if err := run(0, 1, "", "", 1, tinyParams(), "", true); err != nil {
+	if err := run(0, 1, "", "", 1, tinyParams(), "", true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFigure1WithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(1, 0, "", "", 1, tinyParams(), dir, true); err != nil {
+	if err := run(1, 0, "", "", 1, tinyParams(), dir, true, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "figure1.csv")); err != nil {
@@ -34,25 +37,25 @@ func TestRunFigure1WithCSV(t *testing.T) {
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if err := run(99, 0, "", "", 1, tinyParams(), "", true); err == nil {
+	if err := run(99, 0, "", "", 1, tinyParams(), "", true, false); err == nil {
 		t.Fatal("accepted unknown figure")
 	}
 }
 
 func TestRunUnknownTable(t *testing.T) {
-	if err := run(0, 9, "", "", 1, tinyParams(), "", true); err == nil {
+	if err := run(0, 9, "", "", 1, tinyParams(), "", true, false); err == nil {
 		t.Fatal("accepted unknown table")
 	}
 }
 
 func TestRunUnknownAblation(t *testing.T) {
-	if err := run(0, 0, "nope", "", 1, tinyParams(), "", true); err == nil {
+	if err := run(0, 0, "nope", "", 1, tinyParams(), "", true, false); err == nil {
 		t.Fatal("accepted unknown ablation")
 	}
 }
 
 func TestRunUnknownExtension(t *testing.T) {
-	if err := run(0, 0, "", "nope", 1, tinyParams(), "", true); err == nil {
+	if err := run(0, 0, "", "nope", 1, tinyParams(), "", true, false); err == nil {
 		t.Fatal("accepted unknown extension")
 	}
 }
@@ -63,7 +66,7 @@ func TestRunWithObsCollectsAndExports(t *testing.T) {
 	col := &obs.SuiteCollector{}
 	p.Obs = col
 	p.ObsRun = fileObsFactory(dir, 64)
-	if err := run(1, 0, "", "", 1, p, "", true); err != nil {
+	if err := run(1, 0, "", "", 1, p, "", true, false); err != nil {
 		t.Fatal(err)
 	}
 	if col.Len() == 0 {
@@ -91,13 +94,29 @@ func TestRunWithObsCollectsAndExports(t *testing.T) {
 }
 
 func TestRunAblationFTQ(t *testing.T) {
-	if err := run(0, 0, "ftq", "", 1, tinyParams(), "", true); err != nil {
+	if err := run(0, 0, "ftq", "", 1, tinyParams(), "", true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunExtensionISpy(t *testing.T) {
-	if err := run(0, 0, "", "ispy", 1, tinyParams(), "", true); err != nil {
+	if err := run(0, 0, "", "ispy", 1, tinyParams(), "", true, false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunSamplingValidate(t *testing.T) {
+	p := tinyParams()
+	p.Sampling = core.SamplingConfig{IntervalInstrs: 25_000, DetailInstrs: 2_500, WarmInstrs: 5_000}
+	// One tiny suite of this size still runs every mechanism twice; the
+	// coverage contract itself is only meaningful at full scale, so a
+	// failure here must be the hard error for sub-90% coverage or nothing.
+	err := run(0, 0, "", "", 1, p, "", true, true)
+	if err != nil && !strings.Contains(err.Error(), "below the 90% contract") {
+		t.Fatal(err)
+	}
+	p.Sampling = core.SamplingConfig{}
+	if err := run(0, 0, "", "", 1, p, "", true, true); err == nil {
+		t.Fatal("sampling-validate accepted a disabled sampling config")
 	}
 }

@@ -37,6 +37,10 @@ type options struct {
 	json      bool
 	fastFwd   bool
 
+	sampInterval int64
+	sampDetail   int64
+	sampWarm     int64
+
 	obs       bool
 	obsDir    string
 	obsStride int64
@@ -55,6 +59,9 @@ func main() {
 	flag.StringVar(&o.hwpf, "hwpf", "none", "hardware L1-I prefetcher: none, nextline, eip")
 	flag.BoolVar(&o.json, "json", false, "emit the statistics snapshot as JSON")
 	flag.BoolVar(&o.fastFwd, "fast-forward", true, "event-driven cycle skipping (byte-identical results; =false forces cycle-by-cycle)")
+	flag.Int64Var(&o.sampInterval, "sampling-interval", 0, "SMARTS sampling unit period in instructions (0 = exact simulation)")
+	flag.Int64Var(&o.sampDetail, "sampling-detail", 1_000, "measured detailed-window length per sampling unit")
+	flag.Int64Var(&o.sampWarm, "sampling-warm", 2_000, "detailed (unmeasured) warm-up before each window")
 	flag.BoolVar(&o.obs, "obs", false, "record an observability bundle: per-cycle samples, front-end events, metrics")
 	flag.StringVar(&o.obsDir, "obs-dir", "obs", "directory for -obs output files")
 	flag.Int64Var(&o.obsStride, "obs-stride", 64, "cycles between time-series samples under -obs")
@@ -82,6 +89,13 @@ func run(o options) error {
 	cfg.WarmupInstrs = o.warmup
 	cfg.MaxInstrs = o.instrs
 	cfg.FastForward = o.fastFwd
+	if o.sampInterval > 0 {
+		cfg.Sampling = core.SamplingConfig{
+			IntervalInstrs: o.sampInterval,
+			DetailInstrs:   o.sampDetail,
+			WarmInstrs:     o.sampWarm,
+		}
+	}
 
 	switch o.hwpf {
 	case "none":

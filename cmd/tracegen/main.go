@@ -34,6 +34,9 @@ func main() {
 }
 
 func run(name string, instrs int64, out string, report bool) error {
+	if instrs <= 0 {
+		return fmt.Errorf("-instrs must be positive, got %d (an empty trace would be written)", instrs)
+	}
 	spec, ok := workload.Lookup(name)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", name)

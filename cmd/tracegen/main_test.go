@@ -43,3 +43,19 @@ func TestRunUnknownWorkload(t *testing.T) {
 		t.Fatal("accepted unknown workload")
 	}
 }
+
+// TestRunRejectsNonPositiveBudget pins the -instrs validation: a zero or
+// negative budget must fail loudly instead of silently writing an
+// empty-but-valid trace file. Before the fix both calls succeeded.
+func TestRunRejectsNonPositiveBudget(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []int64{0, -1} {
+		out := filepath.Join(dir, "empty.fsim.gz")
+		if err := run("secret_crypto52", n, out, false); err == nil {
+			t.Fatalf("run accepted -instrs %d", n)
+		}
+		if _, err := os.Stat(out); err == nil {
+			t.Fatalf("-instrs %d still wrote a trace file", n)
+		}
+	}
+}

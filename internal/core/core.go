@@ -32,8 +32,20 @@ type Config struct {
 	// reset.
 	WarmupInstrs int64
 	// MaxInstrs are program (non-prefetch) instructions measured after
-	// warmup; the run ends when they retire or the source ends.
+	// warmup; the run ends when they retire or the source ends. In sampled
+	// mode (Sampling.Enabled) it is the post-warm-up coverage budget:
+	// functional gaps, detailed warm-up, measured windows and drains all
+	// count toward it, so sampled and exact runs traverse the same stream
+	// region.
 	MaxInstrs int64
+	// Sampling, when enabled, runs the simulation in SMARTS-style
+	// systematic sampling mode: WarmupInstrs are consumed functionally,
+	// then detailed windows of Sampling.DetailInstrs (each preceded by a
+	// Sampling.WarmInstrs timing ramp) alternate with functional gaps, one
+	// window per Sampling.IntervalInstrs. Per-window IPC samples feed the
+	// confidence interval reported in Stats.Sampling. The whole block is
+	// fingerprinted: sampled and exact runs never share cache entries.
+	Sampling SamplingConfig
 	// Triggers optionally maps trigger PCs to prefetch targets for the
 	// no-insertion-overhead software prefetching mode.
 	Triggers map[isa.Addr][]isa.Addr
@@ -95,6 +107,9 @@ func (c Config) Validate() error {
 	if c.WarmupInstrs < 0 || c.MaxInstrs <= 0 {
 		return fmt.Errorf("core: instruction budget warmup=%d max=%d", c.WarmupInstrs, c.MaxInstrs)
 	}
+	if err := c.Sampling.Validate(); err != nil {
+		return err
+	}
 	if err := c.Frontend.Validate(); err != nil {
 		return err
 	}
@@ -138,6 +153,13 @@ type Stats struct {
 	// records how many, so warmup-boundary sensitivity is visible instead
 	// of silent.
 	WarmupOvershoot int64
+
+	// Sampling carries a sampled run's coverage accounting and per-window
+	// IPC estimate (mean, variance, 95% confidence interval); nil for
+	// exact runs. In sampled snapshots every counter above is the sum over
+	// the measured windows only, so IPC() is the ratio estimate across all
+	// sampled cycles.
+	Sampling *SamplingStats `json:",omitempty"`
 }
 
 // IPC returns retired program instructions per cycle.
@@ -188,6 +210,9 @@ type Sim struct {
 	// error panics the run with an AuditViolation repro dump. It defaults
 	// to the front-end's CheckInvariants; tests inject failures here.
 	auditCheck func(cache.Cycle) error
+
+	// samp is the sampled-mode controller, nil for exact runs.
+	samp *samplingState
 }
 
 // New builds a simulator over the given true-path source.
@@ -210,6 +235,9 @@ func New(cfg Config, src trace.Source) (*Sim, error) {
 	}
 	s.fe = fe
 	s.be = be
+	if cfg.Sampling.Enabled() {
+		s.samp = &samplingState{cfg: cfg.Sampling}
+	}
 	if s.auditing() {
 		s.auditCheck = fe.CheckInvariants
 	}
@@ -241,8 +269,16 @@ func (s *Sim) Frontend() *frontend.Frontend { return s.fe }
 // budget, or that the source drained and the pipeline emptied. Like the
 // historical Run loop it performs the warmup flip before the termination
 // checks, so the flip-before-check ordering is preserved no matter how
-// Done and Step calls interleave.
+// Done and Step calls interleave. In sampled mode it additionally drives
+// the sampling state machine (functional phases run inline here, between
+// cycles), so external drivers keep the canonical shape:
+//
+//	for !sim.Done() { sim.Step() }
 func (s *Sim) Done() bool {
+	if s.samp != nil {
+		s.sampleSync()
+		return s.samp.phase == sampDone
+	}
 	rp := s.be.RetiredProgramCount()
 	if !s.measured && rp >= s.cfg.WarmupInstrs {
 		s.beginMeasurement()
@@ -261,7 +297,7 @@ func (s *Sim) Done() bool {
 //
 //	for !sim.Done() { sim.Step() }
 func (s *Sim) Step() int {
-	if !s.measured && s.be.RetiredProgramCount() >= s.cfg.WarmupInstrs {
+	if s.samp == nil && !s.measured && s.be.RetiredProgramCount() >= s.cfg.WarmupInstrs {
 		s.beginMeasurement()
 	}
 	s.fe.Cycle(s.now)
@@ -384,6 +420,9 @@ func (s *Sim) advance(ctx context.Context, rs *runState) (bool, error) {
 func (s *Sim) finishRun() (Stats, error) {
 	if err := s.fe.Err(); err != nil && !errors.Is(err, trace.ErrEnd) {
 		return Stats{}, fmt.Errorf("core: source failed: %w", err)
+	}
+	if s.samp != nil {
+		return s.samp.finish(s.cfg.Name), nil
 	}
 	if !s.measured {
 		// The source ended during warmup; measure what we have.

@@ -37,7 +37,12 @@ import (
 //	   (cache.HierarchyConfig.ITLB) — both serialized, so every canonical
 //	   config form changed — and Stats gained the ITLB counter block plus
 //	   bpu.Stats shadow counters, changing the cached value shape
-const FingerprintSchema = 5
+//	6  sampled simulation (Config.Sampling, SMARTS-style systematic
+//	   sampling): the Sampling block is serialized — sampled and exact
+//	   runs of one machine must never share cache entries, so every
+//	   canonical config form changed — and Stats gained the optional
+//	   Sampling estimate block, changing the cached value shape
+const FingerprintSchema = 6
 
 // PrefetchFingerprinter lets an attached hardware prefetcher contribute a
 // stable identity to Config.Fingerprint. Prefetchers are constructed fresh

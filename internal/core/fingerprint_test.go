@@ -129,3 +129,41 @@ func FuzzConfigFingerprint(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSamplingFingerprint proves the sampled/exact cache-isolation
+// contract under arbitrary window geometry: a sampled config never shares
+// a fingerprint with its exact counterpart, equal geometries hash equal,
+// and any single-field geometry change is captured.
+func FuzzSamplingFingerprint(f *testing.F) {
+	f.Add(int64(100_000), int64(10_000), int64(20_000))
+	f.Add(int64(1), int64(1), int64(0))
+	f.Add(int64(1<<40), int64(1000), int64(0))
+	f.Fuzz(func(t *testing.T, interval, detail, warm int64) {
+		if interval <= 0 {
+			interval = 1 - interval // keep sampling enabled
+		}
+		exact := DefaultConfig()
+		sampled := DefaultConfig()
+		sampled.Sampling = SamplingConfig{IntervalInstrs: interval, DetailInstrs: detail, WarmInstrs: warm}
+		fe, fs := exact.Fingerprint(), sampled.Fingerprint()
+		if fe == fs {
+			t.Fatalf("sampled and exact configs share fingerprint %s", fs)
+		}
+		dup := DefaultConfig()
+		dup.Sampling = sampled.Sampling
+		if dup.Fingerprint() != fs {
+			t.Fatal("equal sampling geometry hashed differently")
+		}
+		for _, mut := range []func(*SamplingConfig){
+			func(sc *SamplingConfig) { sc.IntervalInstrs++ },
+			func(sc *SamplingConfig) { sc.DetailInstrs++ },
+			func(sc *SamplingConfig) { sc.WarmInstrs++ },
+		} {
+			m := sampled
+			mut(&m.Sampling)
+			if m.Fingerprint() == fs {
+				t.Fatalf("geometry change not captured: %+v vs %+v", m.Sampling, sampled.Sampling)
+			}
+		}
+	})
+}

@@ -29,5 +29,12 @@ func (s *Stats) MetricSet(labels ...obs.Label) obs.MetricSet {
 	add("frontsim_ftq_lines_requested", "L1-I line fetches issued by the FTQ.", float64(s.FTQ.LinesRequested))
 	add("frontsim_ftq_lines_merged", "FTQ entry lines satisfied by a resident entry's request.", float64(s.FTQ.LinesMerged))
 	add("frontsim_warmup_overshoot", "Program instructions retired past WarmupInstrs before measurement began.", float64(s.WarmupOvershoot))
+	if s.Sampling != nil {
+		add("frontsim_sampling_windows", "Measured detailed windows aggregated into the sampled estimate.", float64(s.Sampling.Windows))
+		add("frontsim_sampling_cpi_mean", "Mean of the per-window CPI samples.", s.Sampling.CPI.Mean)
+		add("frontsim_sampling_cpi_ci95", "Half-width of the 95% confidence interval on the per-window CPI mean.", s.Sampling.CPI.CI95())
+		add("frontsim_sampling_ipc_mean", "Sampled IPC point estimate (1/mean CPI).", s.Sampling.IPCMean())
+		add("frontsim_sampling_functional_instrs", "Program instructions consumed functionally (initial warm-up plus gaps).", float64(s.Sampling.FunctionalInstrs))
+	}
 	return ms
 }

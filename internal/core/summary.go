@@ -19,6 +19,16 @@ func (s *Stats) Summary() string {
 	p("cycles                  %d", s.Cycles)
 	p("IPC                     %.4f", s.IPC())
 	p("L1-I MPKI               %.2f", s.L1IMPKI())
+	if sp := s.Sampling; sp != nil {
+		p("")
+		p("-- sampled run --")
+		p("windows                 %d measured (%d truncated)", sp.Windows, sp.TruncatedWindows)
+		lo, hi := sp.IPCInterval()
+		p("IPC estimate            %.4f [%.4f, %.4f] (95%% CI on CPI %.4f ± %.4f)",
+			sp.IPCMean(), lo, hi, sp.CPI.Mean, sp.CPI.CI95())
+		p("coverage                %d functional, %d warm, %d measured, %d drain instrs",
+			sp.FunctionalInstrs, sp.WarmDetailInstrs, s.Instructions, sp.DrainInstrs)
+	}
 	p("")
 	p("-- front-end --")
 	p("blocks filled           %d", s.Frontend.BlocksFilled)

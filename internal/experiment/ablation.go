@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"frontsim/internal/asmdb"
 	"frontsim/internal/cache"
@@ -49,6 +50,33 @@ func runCachedSim(p Params, key simKey, c core.Config, prog *program.Program) (c
 	return st, p.Cache.Put(key, st)
 }
 
+// ipcCell renders a table IPC cell. Exact runs print the plain value;
+// sampled runs append the 95% confidence half-width on the IPC estimate,
+// so every ablation table carries its uncertainty when sampling is on.
+func ipcCell(st core.Stats) string {
+	if sp := st.Sampling; sp != nil {
+		return fmt.Sprintf("%.3f±%.3f", st.IPC(), sp.IPCCI95())
+	}
+	return fmt.Sprintf("%.3f", st.IPC())
+}
+
+// speedupCell renders st's IPC normalized to base. For sampled runs the
+// two estimates' relative confidence half-widths combine in quadrature
+// (first-order error propagation through the ratio; the CPI and IPC
+// relative widths agree to the same order), so speedup columns carry a ±
+// too.
+func speedupCell(st, base core.Stats) string {
+	sp := 0.0
+	if base.Cycles > 0 && base.Instructions > 0 {
+		sp = st.IPC() / base.IPC()
+	}
+	if st.Sampling == nil || base.Sampling == nil {
+		return fmt.Sprintf("%.3f", sp)
+	}
+	rs, rb := st.Sampling.CPI.RelCI95(), base.Sampling.CPI.RelCI95()
+	return fmt.Sprintf("%.3f±%.3f", sp, sp*math.Sqrt(rs*rs+rb*rb))
+}
+
 // sweep runs one configuration grid — cells[si][ci] for spec si and
 // configuration ci — through the runner pool. Each spec's cells are
 // probed against the cache first (warm cells are recorded immediately
@@ -74,6 +102,7 @@ func sweep(specs []workload.Spec, nCfg int, p Params, mkCfg func(spec workload.S
 				c := mkCfg(spec, ci)
 				c.Audit = p.Audit
 				c.FastForward = p.FastForward
+				c.Sampling = p.Sampling
 				key := baseSimKey(spec, p, c)
 				var st core.Stats
 				if ok, err := p.Cache.Get(key, &st); err != nil {
@@ -145,7 +174,7 @@ func AblationFTQDepth(specs []workload.Spec, depths []int, p Params) (*stats.Tab
 				sp = res[si][di].IPC() / base
 			}
 			geo[di] = append(geo[di], sp)
-			row = append(row, fmt.Sprintf("%.3f", sp))
+			row = append(row, speedupCell(res[si][di], res[si][0]))
 		}
 		t.AddRow(row...)
 	}
@@ -166,7 +195,8 @@ func AblationFanout(specs []workload.Spec, thresholds []float64, p Params) (*sta
 		return nil, err
 	}
 	type cell struct {
-		speedup, bloat float64
+		speedup string // rendered by speedupCell (carries ± when sampled)
+		bloat   float64
 	}
 	res := make([][]cell, len(specs))
 	pool := runner.NewPool(p.Parallelism)
@@ -185,6 +215,7 @@ func AblationFanout(specs []workload.Spec, thresholds []float64, p Params) (*sta
 				c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
 				c.Audit = p.Audit
 				c.FastForward = p.FastForward
+				c.Sampling = p.Sampling
 				return c
 			}
 			base, err := runCachedSim(p, baseSimKey(spec, p, mk()), mk(), prog)
@@ -227,11 +258,7 @@ func AblationFanout(specs []workload.Spec, thresholds []float64, p Params) (*sta
 							return err
 						}
 					}
-					sp := 0.0
-					if base.IPC() > 0 {
-						sp = st.IPC() / base.IPC()
-					}
-					res[si][ti] = cell{speedup: sp, bloat: 100 * st.DynamicBloat()}
+					res[si][ti] = cell{speedup: speedupCell(st, base), bloat: 100 * st.DynamicBloat()}
 					return nil
 				})
 			}
@@ -249,7 +276,7 @@ func AblationFanout(specs []workload.Spec, thresholds []float64, p Params) (*sta
 	for si, spec := range specs {
 		row := []string{spec.Name}
 		for ti := range thresholds {
-			row = append(row, fmt.Sprintf("%.3f", res[si][ti].speedup), fmt.Sprintf("%.1f", res[si][ti].bloat))
+			row = append(row, res[si][ti].speedup, fmt.Sprintf("%.1f", res[si][ti].bloat))
 		}
 		t.AddRow(row...)
 	}
@@ -283,7 +310,7 @@ func AblationBTB(specs []workload.Spec, l1Entries []int, p Params) (*stats.Table
 		for ci := range l1Entries {
 			st := res[si][ci]
 			perKi := float64(st.Frontend.BTBL2FillBubbles) / float64(st.Instructions) * 1000
-			row = append(row, fmt.Sprintf("%.3f", st.IPC()), fmt.Sprintf("%.2f", perKi))
+			row = append(row, ipcCell(st), fmt.Sprintf("%.2f", perKi))
 		}
 		t.AddRow(row...)
 	}
@@ -314,7 +341,7 @@ func AblationWrongPath(specs []workload.Spec, depths []int, p Params) (*stats.Ta
 		row := []string{spec.Name}
 		for ci := range depths {
 			st := res[si][ci]
-			row = append(row, fmt.Sprintf("%.3f", st.IPC()), fmt.Sprintf("%.1f", st.L1IMPKI()))
+			row = append(row, ipcCell(st), fmt.Sprintf("%.1f", st.L1IMPKI()))
 		}
 		t.AddRow(row...)
 	}
@@ -346,7 +373,7 @@ func AblationReplacement(specs []workload.Spec, p Params) (*stats.Table, error) 
 		row := []string{spec.Name}
 		for ci := range policies {
 			st := res[si][ci]
-			row = append(row, fmt.Sprintf("%.3f", st.IPC()), fmt.Sprintf("%.1f", st.L1IMPKI()))
+			row = append(row, ipcCell(st), fmt.Sprintf("%.1f", st.L1IMPKI()))
 		}
 		t.AddRow(row...)
 	}
@@ -380,9 +407,9 @@ func AblationPredictor(specs []workload.Spec, p Params) (*stats.Table, error) {
 		}
 		ratios = append(ratios, ratio)
 		t.AddRow(spec.Name,
-			fmt.Sprintf("%.3f", tour.IPC()),
-			fmt.Sprintf("%.3f", tage.IPC()),
-			fmt.Sprintf("%.3f", ratio),
+			ipcCell(tour),
+			ipcCell(tage),
+			speedupCell(tage, tour),
 			fmt.Sprintf("%.4f", tour.BPU.CondAccuracy()),
 			fmt.Sprintf("%.4f", tage.BPU.CondAccuracy()))
 	}
@@ -420,7 +447,7 @@ func AblationFrontend(specs []workload.Spec, p Params) (*stats.Table, error) {
 				sp = res[si][ci].IPC() / base
 			}
 			geo[ci] = append(geo[ci], sp)
-			row = append(row, fmt.Sprintf("%.3f", sp))
+			row = append(row, speedupCell(res[si][ci], res[si][0]))
 		}
 		t.AddRow(row...)
 	}

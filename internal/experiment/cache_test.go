@@ -12,6 +12,7 @@ import (
 	"frontsim/internal/asmdb"
 	"frontsim/internal/core"
 	"frontsim/internal/runner"
+	"frontsim/internal/stats"
 	"frontsim/internal/workload"
 )
 
@@ -50,6 +51,16 @@ func cannedMatrix() *Matrix {
 	}
 	for id := seriesID(0); id < numSeries; id++ {
 		fill(m.seriesPtr(id), seriesLabels[id], 100_000+int64(id)*10_000)
+	}
+	// One sampled series pins the optional SamplingStats block's shape in
+	// the golden alongside the exact (nil) ones.
+	m.FDP.Sampling = &core.SamplingStats{
+		Windows:          12,
+		TruncatedWindows: 1,
+		FunctionalInstrs: 90_000,
+		WarmDetailInstrs: 24_000,
+		DrainInstrs:      600,
+		CPI:              stats.Estimate{N: 12, Mean: 0.5, M2: 0.02},
 	}
 	return m
 }

@@ -77,6 +77,19 @@ type Params struct {
 	// is excluded from fingerprints and cache keys: fast-forwarded and
 	// cycle-stepped runs share cache entries. DefaultParams turns it on.
 	FastForward bool `json:"-"`
+	// Sampling selects SMARTS-style sampled simulation
+	// (core.Config.Sampling) for every simulated cell. Unlike Audit,
+	// FastForward and Batch it is *semantic*: the sampling geometry is part
+	// of every config fingerprint, so sampled and exact cells never share
+	// run-cache entries, and sampled Stats carry the per-window CPI
+	// estimate (core.SamplingStats) the tables render as ± confidence
+	// half-widths. The zero value keeps every cell exact. MaxInstrs still
+	// bounds the covered stream region, so a sampled suite traverses the
+	// same instructions as its exact counterpart. Extension pipelines
+	// (X1/X2) always run exact: their tuning loops compare absolute IPC
+	// across rewritten programs, where sampling noise would feed back into
+	// plan selection.
+	Sampling core.SamplingConfig
 	// Batch groups a workload's cold cells into one lockstep batch job:
 	// the instruction stream is generated and decoded once per workload
 	// and fanned out to every cold config's simulator (trace.Fanout +
@@ -117,6 +130,9 @@ func DefaultParams() Params {
 func (p Params) Validate() error {
 	if p.WarmupInstrs < 0 || p.MeasureInstrs <= 0 || p.ProfileInstrs <= 0 {
 		return fmt.Errorf("experiment: instruction budgets %+v", p)
+	}
+	if err := p.Sampling.Validate(); err != nil {
+		return err
 	}
 	return p.AsmDB.Validate()
 }
@@ -214,7 +230,11 @@ func (m *Matrix) seriesPtr(id seriesID) *core.Stats {
 // mechanism matrix — MANA, shadow-branch decoding, and the I-TLB became
 // config dimensions and Stats gained their counter blocks, so schema-4
 // entries decode with those counters silently zero and are retired.
-const cacheSchema = 5
+// Schema 6: sampled simulation — core.Config.Sampling joined the
+// fingerprinted canonical form (sampled and exact runs must never share
+// entries) and core.Stats gained the optional Sampling estimate block, so
+// schema-5 entries are retired across the value-shape boundary.
+const cacheSchema = 6
 
 // Program-variant tags in run-cache keys. The config fingerprint cannot
 // see which instruction stream it runs against, so the key must.
@@ -273,6 +293,7 @@ func (p Params) consConfig() core.Config {
 	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
 	c.Audit = p.Audit
 	c.FastForward = p.FastForward
+	c.Sampling = p.Sampling
 	return c
 }
 
@@ -281,6 +302,7 @@ func (p Params) fdpConfig() core.Config {
 	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
 	c.Audit = p.Audit
 	c.FastForward = p.FastForward
+	c.Sampling = p.Sampling
 	return c
 }
 

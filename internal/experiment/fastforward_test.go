@@ -95,10 +95,10 @@ func TestFastForwardAblationEquivalence(t *testing.T) {
 }
 
 // TestStaleSchemaEntryRejected pins the cache-key schema bump: an entry
-// written under the pre-mechanism-matrix key layout (schema 4) must miss,
-// not be silently reused, when the current binary probes the same
-// simulation. Before cacheSchema moved to 5 this test failed — the stale
-// entry's key was byte-identical to the live one.
+// written under the pre-sampling key layout (schema 5) must miss, not be
+// silently reused, when the current binary probes the same simulation.
+// Before cacheSchema moved to 6 this test failed — the stale entry's key
+// was byte-identical to the live one.
 func TestStaleSchemaEntryRejected(t *testing.T) {
 	if cacheSchema != core.FingerprintSchema {
 		t.Fatalf("cacheSchema %d and core.FingerprintSchema %d moved apart; bump them in lockstep", cacheSchema, core.FingerprintSchema)
@@ -118,10 +118,10 @@ func TestStaleSchemaEntryRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Write the FDP cell exactly as a schema-4 binary would have keyed it.
+	// Write the FDP cell exactly as a schema-5 binary would have keyed it.
 	stale := keys.series[serFDP]
-	stale.Schema = 4
-	if err := c.Put(stale, core.Stats{Config: "stale-schema-4"}); err != nil {
+	stale.Schema = 5
+	if err := c.Put(stale, core.Stats{Config: "stale-schema-5"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -131,7 +131,7 @@ func TestStaleSchemaEntryRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	if hit {
-		t.Fatalf("stale schema-4 cache entry silently reused: %+v", got)
+		t.Fatalf("stale schema-5 cache entry silently reused: %+v", got)
 	}
 
 	// The stale entry is still addressable under its own (old) key — the
@@ -140,7 +140,7 @@ func TestStaleSchemaEntryRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit || got.Config != "stale-schema-4" {
+	if !hit || got.Config != "stale-schema-5" {
 		t.Fatal("stale entry unexpectedly unreadable under its own key")
 	}
 }

@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiment
+
+// longTierTestInstrs is the coverage budget TestLongTierSampledRun uses:
+// the full long-tier contract is >=100M instructions per cell. The race
+// detector multiplies functional-warming cost severalfold, so the raced
+// build drops to a reduced budget (longtier_race_test.go) that still
+// exercises the same machinery.
+const longTierTestInstrs = 100_000_000

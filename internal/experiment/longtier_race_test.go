@@ -1,0 +1,7 @@
+//go:build race
+
+package experiment
+
+// Reduced long-tier budget under the race detector; see
+// longtier_norace_test.go for the full-contract value.
+const longTierTestInstrs = 20_000_000

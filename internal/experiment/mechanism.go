@@ -99,8 +99,8 @@ func AblationMechanism(specs []workload.Spec, p Params) (*stats.Table, error) {
 				return fmt.Sprintf("%.1f", 100*float64(n)/float64(st.FTQ.Cycles))
 			}
 			t.AddRow(spec.Name, m.Label,
-				fmt.Sprintf("%.3f", st.IPC()),
-				fmt.Sprintf("%.3f", sp),
+				ipcCell(st),
+				speedupCell(st, res[si][0]),
 				fmt.Sprintf("%.1f", st.L1IMPKI()),
 				share(st.FTQ.ShootThroughCycles),
 				share(st.FTQ.Scenario2Cycles),

@@ -193,6 +193,10 @@ type Frontend struct {
 	stallUntil cache.Cycle
 	stallSeq   int64
 
+	// fillGated suspends the fill engine while sampled simulation drains a
+	// measured window out of the pipeline (SetFill).
+	fillGated bool
+
 	sink obs.Sink // nil when observation is off
 
 	stats Stats
@@ -356,6 +360,12 @@ func (f *Frontend) Cycle(now cache.Cycle) {
 		if f.sink != nil {
 			f.sink.Event(obs.Event{Cycle: int64(now), Kind: obs.EvPrefetchIssue, Addr: uint64(p.target), Arg: trig})
 		}
+	}
+	if f.fillGated {
+		// A gated cycle is a drain cycle, not a stall: the timed-stall
+		// check below must not run, so a wrong-path stall neither counts
+		// nor expires while the window boundary drains.
+		return
 	}
 	if f.srcDone && f.peeked == nil {
 		return

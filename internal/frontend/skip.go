@@ -17,6 +17,12 @@ import "frontsim/internal/cache"
 // Anything else means the fill engine would push blocks this cycle, so the
 // fast-forward scheduler must not skip it.
 func (f *Frontend) FillBlockedUntil(now cache.Cycle) (cache.Cycle, bool) {
+	if f.fillGated {
+		// A gated fill engine (sampled-mode drain, SetFill) does nothing
+		// until an external actor re-enables it, which only happens between
+		// cycles; within simulated time the block is indefinite.
+		return cache.CycleMax, true
+	}
 	if f.srcDone && f.peeked == nil {
 		return cache.CycleMax, true
 	}
@@ -54,6 +60,9 @@ func (f *Frontend) NextPendingPrefetchAt() (cache.Cycle, bool) {
 // stall check), and not when fill is merely blocked by a full queue.
 func (f *Frontend) SkipTo(from, to cache.Cycle) {
 	f.q.SkipTo(from, to)
+	if f.fillGated {
+		return // gated cycles are drain cycles, not stalls (mirrors Cycle)
+	}
 	if f.srcDone && f.peeked == nil {
 		return
 	}

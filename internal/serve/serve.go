@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -245,6 +246,15 @@ type CellRequest struct {
 	MeasureInstrs int64 `json:"measure_instrs,omitempty"`
 	ProfileInstrs int64 `json:"profile_instrs,omitempty"`
 
+	// SamplingInterval > 0 selects SMARTS-style sampled simulation with
+	// the given unit period; SamplingDetail and SamplingWarm set the
+	// measured-window and detailed-warm-up lengths (core.SamplingConfig).
+	// Sampling is part of the config fingerprint, so sampled cells never
+	// share cache entries with exact ones.
+	SamplingInterval int64 `json:"sampling_interval,omitempty"`
+	SamplingDetail   int64 `json:"sampling_detail,omitempty"`
+	SamplingWarm     int64 `json:"sampling_warm,omitempty"`
+
 	// TimeoutMs bounds the whole request, queue wait included.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
@@ -253,16 +263,20 @@ type CellRequest struct {
 // CanonicalJSON — byte-identical to the run cache entry and to what
 // cmd/experiments computes for the same fingerprint.
 type CellResponse struct {
-	Workload    string          `json:"workload"`
-	Series      string          `json:"series,omitempty"`
-	Config      string          `json:"config"`
-	Fingerprint string          `json:"fingerprint"`
-	Cached      bool            `json:"cached"`
-	Coalesced   bool            `json:"coalesced"`
-	PeerFilled  bool            `json:"peer_filled,omitempty"`
-	IPC         float64         `json:"ipc"`
-	L1IMPKI     float64         `json:"l1i_mpki"`
-	Stats       json.RawMessage `json:"stats"`
+	Workload    string  `json:"workload"`
+	Series      string  `json:"series,omitempty"`
+	Config      string  `json:"config"`
+	Fingerprint string  `json:"fingerprint"`
+	Cached      bool    `json:"cached"`
+	Coalesced   bool    `json:"coalesced"`
+	PeerFilled  bool    `json:"peer_filled,omitempty"`
+	IPC         float64 `json:"ipc"`
+	L1IMPKI     float64 `json:"l1i_mpki"`
+	// Sampled cells additionally report the 95% confidence half-width on
+	// the IPC estimate and the number of measured windows behind it.
+	IPCCI95         float64         `json:"ipc_ci95,omitempty"`
+	SamplingWindows int64           `json:"sampling_windows,omitempty"`
+	Stats           json.RawMessage `json:"stats"`
 }
 
 // SuiteRequest asks for a grid of cells: every listed workload under
@@ -276,7 +290,12 @@ type SuiteRequest struct {
 	WarmupInstrs  int64 `json:"warmup_instrs,omitempty"`
 	MeasureInstrs int64 `json:"measure_instrs,omitempty"`
 	ProfileInstrs int64 `json:"profile_instrs,omitempty"`
-	TimeoutMs     int64 `json:"timeout_ms,omitempty"`
+
+	SamplingInterval int64 `json:"sampling_interval,omitempty"`
+	SamplingDetail   int64 `json:"sampling_detail,omitempty"`
+	SamplingWarm     int64 `json:"sampling_warm,omitempty"`
+
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // SuiteResponse preserves request order: cell i×j is Cells[i*len(Series)+j].
@@ -326,6 +345,16 @@ func (s *Server) prepare(req CellRequest) (*preparedCell, error) {
 	if req.ProfileInstrs > 0 {
 		p.ProfileInstrs = req.ProfileInstrs
 	}
+	if req.SamplingInterval > 0 {
+		p.Sampling = core.SamplingConfig{
+			IntervalInstrs: req.SamplingInterval,
+			DetailInstrs:   req.SamplingDetail,
+			WarmInstrs:     req.SamplingWarm,
+		}
+		if err := p.Sampling.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	pc := &preparedCell{spec: spec, params: p}
 
 	if err := applyAblation(&req); err != nil {
@@ -338,6 +367,8 @@ func (s *Server) prepare(req CellRequest) (*preparedCell, error) {
 		Workload: spec.Name, Series: req.Series,
 		FTQ: req.FTQ, DecodeWidth: req.DecodeWidth, NoPFC: req.NoPFC, HwPrefetcher: req.HwPrefetcher,
 		WarmupInstrs: p.WarmupInstrs, MeasureInstrs: p.MeasureInstrs, ProfileInstrs: p.ProfileInstrs,
+		SamplingInterval: p.Sampling.IntervalInstrs, SamplingDetail: p.Sampling.DetailInstrs,
+		SamplingWarm: p.Sampling.WarmInstrs,
 	}
 	if req.FTQ != 0 || req.DecodeWidth != 0 || req.NoPFC || req.HwPrefetcher != "" {
 		if req.Series != "" {
@@ -408,6 +439,7 @@ func overrideConfig(req CellRequest, p experiment.Params) (core.Config, error) {
 	c := core.DefaultConfig()
 	c.WarmupInstrs, c.MaxInstrs = p.WarmupInstrs, p.MeasureInstrs
 	c.FastForward = true
+	c.Sampling = p.Sampling
 	if req.FTQ != 0 {
 		c.Name = fmt.Sprintf("ftq%d", req.FTQ)
 		c.Frontend.FTQEntries = req.FTQ
@@ -520,6 +552,15 @@ func finishCell(resp CellResponse, st core.Stats) (CellResponse, error) {
 	resp.Stats = b
 	resp.IPC = st.IPC()
 	resp.L1IMPKI = st.L1IMPKI()
+	if sp := st.Sampling; sp != nil {
+		// An unbounded interval (too few windows, or variance crossing
+		// CPI zero) cannot be encoded as JSON; omit the half-width and
+		// let the full interval in Stats.Sampling speak for itself.
+		if hw := sp.IPCCI95(); !math.IsInf(hw, 1) {
+			resp.IPCCI95 = hw
+		}
+		resp.SamplingWindows = sp.Windows
+	}
 	return resp, nil
 }
 
@@ -763,7 +804,9 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 			pc, err := s.prepare(CellRequest{
 				Workload: wl, Series: ser,
 				WarmupInstrs: req.WarmupInstrs, MeasureInstrs: req.MeasureInstrs,
-				ProfileInstrs: req.ProfileInstrs,
+				ProfileInstrs:    req.ProfileInstrs,
+				SamplingInterval: req.SamplingInterval, SamplingDetail: req.SamplingDetail,
+				SamplingWarm: req.SamplingWarm,
 			})
 			if err != nil {
 				s.writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})

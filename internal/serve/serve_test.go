@@ -664,3 +664,69 @@ func TestSuiteEndpoint(t *testing.T) {
 		t.Fatalf("suite executed %d cells, want 6", got)
 	}
 }
+
+// TestServedCellSampling pins the sampled run mode over HTTP with real
+// execution: a cell requested with sampling geometry reports ipc_ci95
+// and sampling_windows, addresses a cache identity disjoint from the
+// exact cell's, and an invalid geometry is rejected with 400 before
+// anything executes.
+func TestServedCellSampling(t *testing.T) {
+	p := experiment.DefaultParams()
+	p.WarmupInstrs = 20_000
+	p.MeasureInstrs = 300_000
+	p.ProfileInstrs = 80_000
+	cache, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Params: p, Cache: cache, Workers: 2, MaxConcurrent: 2, MaxQueue: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := workload.All()[0]
+	exactReq := CellRequest{Workload: spec.Name, Series: "fdp24"}
+	sampReq := CellRequest{Workload: spec.Name, Series: "fdp24",
+		SamplingInterval: 30_000, SamplingDetail: 3_000, SamplingWarm: 6_000}
+
+	status, _, body := postCell(t, ts.URL, exactReq)
+	if status != http.StatusOK {
+		t.Fatalf("exact cell got %d: %s", status, body)
+	}
+	var exact CellResponse
+	if err := json.Unmarshal(body, &exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.IPCCI95 != 0 || exact.SamplingWindows != 0 {
+		t.Fatalf("exact cell reported sampling fields: %+v", exact)
+	}
+
+	status, _, body = postCell(t, ts.URL, sampReq)
+	if status != http.StatusOK {
+		t.Fatalf("sampled cell got %d: %s", status, body)
+	}
+	var samp CellResponse
+	if err := json.Unmarshal(body, &samp); err != nil {
+		t.Fatal(err)
+	}
+	if samp.SamplingWindows == 0 || samp.IPCCI95 <= 0 {
+		t.Fatalf("sampled cell lacks sampling fields: %+v", samp)
+	}
+	if samp.Fingerprint == exact.Fingerprint {
+		t.Fatalf("sampled and exact cells share cache identity %s", samp.Fingerprint)
+	}
+	if samp.IPC <= 0 {
+		t.Fatalf("sampled IPC %v", samp.IPC)
+	}
+
+	// Geometry where warm+detail exceeds the interval: rejected up front.
+	bad := CellRequest{Workload: spec.Name, Series: "fdp24",
+		SamplingInterval: 5_000, SamplingDetail: 3_000, SamplingWarm: 6_000}
+	status, _, body = postCell(t, ts.URL, bad)
+	if status != http.StatusBadRequest {
+		t.Fatalf("invalid sampling geometry got %d: %s", status, body)
+	}
+	if got := s.executions.Load(); got != 2 {
+		t.Fatalf("executions = %d, want 2 (bad request must not run)", got)
+	}
+}

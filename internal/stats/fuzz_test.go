@@ -89,6 +89,59 @@ func FuzzPercentile(f *testing.F) {
 	})
 }
 
+// FuzzMeanMinMax pins the package-wide NaN contract on the remaining
+// aggregates: NaN inputs are dropped (one NaN sample must not poison a
+// suite rollup), no-usable-input yields 0, and Min/Max always return an
+// element of the input. Mean may legitimately be NaN only when the usable
+// subset mixes +Inf and -Inf.
+func FuzzMeanMinMax(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(mustBytes(1, 2, 3))
+	f.Add(mustBytes(math.NaN(), 4, 8))
+	f.Add(mustBytes(math.NaN(), math.NaN()))
+	f.Add(mustBytes(math.Inf(1), math.NaN(), math.Inf(-1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := floatsFromBytes(data)
+		mean, lo, hi := Mean(xs), Min(xs), Max(xs)
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Fatalf("Min/Max(%v) = %v/%v", xs, lo, hi)
+		}
+		usable := 0
+		posInf, negInf := false, false
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			usable++
+			posInf = posInf || math.IsInf(x, 1)
+			negInf = negInf || math.IsInf(x, -1)
+		}
+		if usable == 0 {
+			if mean != 0 || lo != 0 || hi != 0 {
+				t.Fatalf("no usable values but Mean/Min/Max = %v/%v/%v", mean, lo, hi)
+			}
+			return
+		}
+		if math.IsNaN(mean) && !(posInf && negInf) {
+			t.Fatalf("Mean(%v) = NaN without opposing infinities", xs)
+		}
+		if lo > hi {
+			t.Fatalf("Min %v > Max %v", lo, hi)
+		}
+		found := func(v float64) bool {
+			for _, x := range xs {
+				if x == v {
+					return true
+				}
+			}
+			return false
+		}
+		if !found(lo) || !found(hi) {
+			t.Fatalf("Min/Max(%v) = %v/%v not input elements", xs, lo, hi)
+		}
+	})
+}
+
 func mustBytes(xs ...float64) []byte {
 	out := make([]byte, 8*len(xs))
 	for i, x := range xs {

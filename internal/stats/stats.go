@@ -31,42 +31,57 @@ func Geomean(xs []float64) float64 {
 	return math.Exp(sum / float64(n))
 }
 
-// Mean returns the arithmetic mean (0 for empty input).
+// Mean returns the arithmetic mean, dropping NaN values like Geomean and
+// Percentile do — a single NaN sample must not poison a suite-wide rollup.
+// It returns 0 for an input with no usable values.
 func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		sum += x
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / float64(len(xs))
+	return sum / float64(n)
 }
 
-// Min and Max return the extrema (0 for empty input).
+// Min returns the smallest non-NaN value (0 when no usable value exists),
+// matching the package-wide NaN treatment.
 func Min(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
+	m, ok := math.NaN(), false
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
 		}
+		if !ok || x < m {
+			m, ok = x, true
+		}
+	}
+	if !ok {
+		return 0
 	}
 	return m
 }
 
-// Max returns the largest value (0 for empty input).
+// Max returns the largest non-NaN value (0 when no usable value exists),
+// matching the package-wide NaN treatment.
 func Max(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x > m {
-			m = x
+	m, ok := math.NaN(), false
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
 		}
+		if !ok || x > m {
+			m, ok = x, true
+		}
+	}
+	if !ok {
+		return 0
 	}
 	return m
 }

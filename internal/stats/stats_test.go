@@ -150,3 +150,24 @@ func TestRenderCSV(t *testing.T) {
 		t.Fatalf("csv:\n%q\nwant\n%q", got, want)
 	}
 }
+
+// TestMeanMinMaxDropNaN pins the uniform NaN contract: like Geomean and
+// Percentile, the aggregates drop NaN samples instead of propagating them,
+// and an all-NaN input degenerates to 0. Before the fix a single NaN
+// poisoned all three.
+func TestMeanMinMaxDropNaN(t *testing.T) {
+	xs := []float64{math.NaN(), 1, 3}
+	if got := Mean(xs); got != 2 {
+		t.Fatalf("Mean with NaN = %v, want 2", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Fatalf("Min with NaN = %v, want 1", got)
+	}
+	if got := Max(xs); got != 3 {
+		t.Fatalf("Max with NaN = %v, want 3", got)
+	}
+	bad := []float64{math.NaN(), math.NaN()}
+	if Mean(bad) != 0 || Min(bad) != 0 || Max(bad) != 0 {
+		t.Fatalf("all-NaN input: %v %v %v", Mean(bad), Min(bad), Max(bad))
+	}
+}

@@ -53,6 +53,7 @@ type Writer struct {
 	prevData isa.Addr
 	started  bool
 	closed   bool
+	closeErr error
 }
 
 // NewWriter creates a Writer emitting the trace container to w.
@@ -86,6 +87,11 @@ func (w *Writer) Write(in isa.Instr) error {
 		header |= flagHasTarget
 	}
 	hasData := in.Class.IsMem()
+	if !hasData && in.DataAddr != 0 {
+		// The format only carries a data address for memory classes; encoding
+		// this record would silently drop the field and round-trip lossily.
+		return fmt.Errorf("trace: %v instruction at %v carries DataAddr %v but is not a memory class", in.Class, in.PC, in.DataAddr)
+	}
 	if hasData {
 		header |= flagHasData
 	}
@@ -109,16 +115,23 @@ func (w *Writer) Write(in isa.Instr) error {
 }
 
 // Close flushes and finalizes the container. The underlying writer is not
-// closed.
+// closed. The gzip layer is closed even when the flush fails, so a failed
+// Close never leaks the compressor, and the first error is remembered:
+// every subsequent Close reports it again instead of claiming success over
+// an unfinalized trace.
 func (w *Writer) Close() error {
 	if w.closed {
-		return nil
+		return w.closeErr
 	}
 	w.closed = true
-	if err := w.bw.Flush(); err != nil {
-		return err
+	ferr := w.bw.Flush()
+	cerr := w.gz.Close()
+	if ferr != nil {
+		w.closeErr = ferr
+	} else {
+		w.closeErr = cerr
 	}
-	return w.gz.Close()
+	return w.closeErr
 }
 
 // Reader decodes a trace container produced by Writer. It implements
@@ -184,6 +197,9 @@ func (r *Reader) Next() (isa.Instr, error) {
 		in.Target = isa.Addr(int64(in.PC) + unzigzag(d))
 	}
 	if header&flagHasData != 0 {
+		if !in.Class.IsMem() {
+			return isa.Instr{}, fmt.Errorf("trace: corrupt record: %v class carries a data address", in.Class)
+		}
 		d, err := binary.ReadUvarint(r.br)
 		if err != nil {
 			return isa.Instr{}, fmt.Errorf("trace: reading data delta: %w", err)

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"frontsim/internal/isa"
+)
+
+// failWriter fails every Write, modeling a full or revoked output device.
+type failWriter struct{ writes int }
+
+var errDevice = errors.New("device gone")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.writes++
+	return 0, errDevice
+}
+
+// TestWriteRejectsDataAddrOnNonMemClass pins the loud-failure contract: the
+// format only carries a data address for memory classes, so a record that
+// would lose its DataAddr in encoding must be rejected, not silently
+// round-tripped lossily. Before the fix Write accepted it and dropped the
+// field.
+func TestWriteRejectsDataAddrOnNonMemClass(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := isa.Instr{PC: 0x1000, Class: isa.ClassALU, DataAddr: 0x2000}
+	if err := w.Write(bad); err == nil {
+		t.Fatalf("Write accepted %+v, silently dropping DataAddr", bad)
+	}
+	// Memory classes still encode their address, including address zero.
+	if err := w.Write(isa.Instr{PC: 0x1000, Class: isa.ClassLoad}); err != nil {
+		t.Fatalf("Write rejected a load with DataAddr 0: %v", err)
+	}
+	// A sw-prefetch carries its code address in Target, not DataAddr; it
+	// must still be writable.
+	if err := w.Write(isa.Instr{PC: 0x1004, Class: isa.ClassSwPrefetch, Target: 0x9000}); err != nil {
+		t.Fatalf("Write rejected a sw-prefetch: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseStickyErrorAfterFlushFailure pins Close's error-path contract:
+// when the buffered flush fails, the gzip layer must still be closed (no
+// leaked compressor) and the failure must be remembered — a second Close
+// reports the same error instead of claiming success over an unfinalized
+// trace. Before the fix the second Close returned nil.
+func TestCloseStickyErrorAfterFlushFailure(t *testing.T) {
+	fw := &failWriter{}
+	w, err := NewWriter(fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(isa.Instr{PC: 0x40, Class: isa.ClassALU}); err != nil {
+		t.Fatal(err)
+	}
+	first := w.Close()
+	if first == nil {
+		t.Fatal("Close reported success with a failing underlying writer")
+	}
+	second := w.Close()
+	if second == nil {
+		t.Fatal("second Close reported success over an unfinalized trace")
+	}
+	if !errors.Is(second, errDevice) {
+		t.Fatalf("second Close lost the original failure: %v", second)
+	}
+}
+
+// TestReaderRejectsDataAddrOnNonMemClass hand-crafts a record whose header
+// claims a data address on a non-memory class: the reader must surface a
+// corrupt-record error, never a garbage instruction.
+func TestReaderRejectsDataAddrOnNonMemClass(t *testing.T) {
+	var payload bytes.Buffer
+	payload.WriteString(magic)
+	payload.WriteByte(byte(isa.ClassALU) | flagHasData)
+	var tmp []byte
+	tmp = binary.AppendUvarint(tmp, zigzag(0x1000))
+	payload.Write(tmp) // pc delta
+	payload.Write(tmp) // data delta
+
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in, err := r.Next(); err == nil {
+		t.Fatalf("reader decoded garbage record %+v", in)
+	}
+}
+
+// TestReaderExhaustiveTruncationMutation walks every byte-prefix and every
+// single-byte xor-0xff/xor-0x01 mutation of a small valid trace: decoding
+// must never panic, and whenever it terminates cleanly (ErrEnd) the decoded
+// records must be a prefix of the original sequence — corruption surfaces
+// as an error, never as silently different records.
+func TestReaderExhaustiveTruncationMutation(t *testing.T) {
+	want := sampleInstrs()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range want {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	check := func(data []byte) {
+		t.Helper()
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var got []isa.Instr
+		// A corrupt deflate stream may inflate to far more records than the
+		// original before the container CRC error surfaces, so the bound is
+		// generous; exhausting it without a clean end is not a failure here
+		// (FuzzReaderRobustness owns termination).
+		for i := 0; i < 1<<20; i++ {
+			in, err := r.Next()
+			if errors.Is(err, ErrEnd) {
+				// Clean termination: records must be a prefix of the truth.
+				if len(got) > len(want) {
+					t.Fatalf("decoded %d records from a %d-record trace", len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("record %d decoded as %+v, want %+v", j, got[j], want[j])
+					}
+				}
+				return
+			}
+			if err != nil {
+				return
+			}
+			got = append(got, in)
+		}
+	}
+
+	for cut := 0; cut <= len(valid); cut++ {
+		check(valid[:cut])
+	}
+	for pos := range valid {
+		for _, xor := range []byte{0xff, 0x01} {
+			mut := append([]byte(nil), valid...)
+			mut[pos] ^= xor
+			check(mut)
+		}
+	}
+}

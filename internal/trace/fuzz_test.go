@@ -86,6 +86,68 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzReaderTruncationCorruption is the truncation/corruption target: any
+// byte-prefix and any single-byte mutation of a valid trace must decode to
+// either a clean prefix of the original instruction sequence or an error —
+// never silently different records. Garbage delivered before an eventual
+// error is acceptable (the caller sees the error); garbage delivered with a
+// clean ErrEnd termination is not.
+func FuzzReaderTruncationCorruption(f *testing.F) {
+	f.Add(uint64(1), 200, -1, byte(0))
+	f.Add(uint64(2), 200, 17, byte(0xff))
+	f.Add(uint64(3), 40, 0, byte(0x40))
+	f.Fuzz(func(t *testing.T, seed uint64, cut, pos int, xor byte) {
+		want := randInstrs(seed, 300)
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range want {
+			if err := w.Write(in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data := append([]byte(nil), buf.Bytes()...)
+		if pos >= 0 && pos < len(data) {
+			data[pos] ^= xor
+		}
+		if cut >= 0 && cut < len(data) {
+			data = data[:cut]
+		}
+
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var got []isa.Instr
+		// Corrupt deflate data may inflate well past the original record
+		// count before the container CRC error surfaces; the bound is
+		// generous and exhausting it is left to FuzzReaderRobustness.
+		for i := 0; i < 1<<22; i++ {
+			in, err := r.Next()
+			if err == ErrEnd {
+				if len(got) > len(want) {
+					t.Fatalf("decoded %d records from a %d-record trace", len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("clean termination with corrupt record %d: %+v != %+v", j, got[j], want[j])
+					}
+				}
+				return
+			}
+			if err != nil {
+				return
+			}
+			got = append(got, in)
+		}
+	})
+}
+
 // FuzzAddrLine keeps the alignment helpers honest for any address.
 func FuzzAddrLine(f *testing.F) {
 	f.Add(uint64(0))

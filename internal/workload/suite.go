@@ -25,10 +25,46 @@ var suiteNames = []string{
 	"secret_srv757", "secret_srv764", "secret_srv771", "secret_srv85",
 }
 
+// longNames lists the "long" workload tier: the same three tuning
+// regimes, but meant to run at multi-hundred-million-instruction budgets
+// (LongBudgetInstrs) that only the sampled simulator (core.Config.Sampling)
+// can cover in tolerable wall time. They are deliberately not part of the
+// 48-workload presentation suite — Names/All/ByIndex exclude them — but
+// Lookup resolves them, so cmd/fesim and the serve layer can run them by
+// name.
+var longNames = []string{
+	"long_crypto_17", "long_int_333", "long_srv_584", "long_srv_872",
+}
+
+// LongBudgetInstrs is the recommended coverage budget for the long tier:
+// 200M post-warm-up instructions, ~130x the default suite budget. SMARTS
+// sampling (-sampling-interval 1000000 -sampling-detail 10000
+// -sampling-warm 50000) simulates ~6% of that in detail and runs the
+// cell at roughly the functional-warming floor — measured numbers and the
+// validated geometry are in EXPERIMENTS.md ("Long workload tier");
+// experiment.TestLongTierSampledRun is the executable contract.
+const LongBudgetInstrs = 200_000_000
+
 // Names returns the 48 workload names in presentation order.
 func Names() []string {
 	out := make([]string, len(suiteNames))
 	copy(out, suiteNames)
+	return out
+}
+
+// LongNames returns the long-tier workload names.
+func LongNames() []string {
+	out := make([]string, len(longNames))
+	copy(out, longNames)
+	return out
+}
+
+// LongAll returns the long tier's Specs.
+func LongAll() []Spec {
+	out := make([]Spec, len(longNames))
+	for i, n := range longNames {
+		out[i] = specFor(n)
+	}
 	return out
 }
 
@@ -57,9 +93,14 @@ func seedOf(name string) uint64 {
 	return h
 }
 
-// Lookup returns the Spec for a suite workload name.
+// Lookup returns the Spec for a suite or long-tier workload name.
 func Lookup(name string) (Spec, bool) {
 	for _, n := range suiteNames {
+		if n == name {
+			return specFor(n), true
+		}
+	}
+	for _, n := range longNames {
 		if n == name {
 			return specFor(n), true
 		}

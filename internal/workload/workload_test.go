@@ -217,3 +217,43 @@ func TestSeedStability(t *testing.T) {
 		t.Fatal("unstable seed")
 	}
 }
+
+func TestLongTier(t *testing.T) {
+	long := LongNames()
+	if len(long) != 4 {
+		t.Fatalf("long tier has %d names, want 4", len(long))
+	}
+	inSuite := map[string]bool{}
+	for _, n := range Names() {
+		inSuite[n] = true
+	}
+	for _, n := range long {
+		if inSuite[n] {
+			t.Errorf("long-tier workload %s leaked into the 48-workload suite", n)
+		}
+		s, ok := Lookup(n)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed for long-tier workload", n)
+		}
+		if s.Name != n {
+			t.Errorf("Lookup(%q) returned spec named %q", n, s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	cats := map[string]Category{
+		"long_crypto_17": Crypto,
+		"long_int_333":   Integer,
+		"long_srv_584":   Server,
+		"long_srv_872":   Server,
+	}
+	for _, s := range LongAll() {
+		if want := cats[s.Name]; s.Category != want {
+			t.Errorf("%s category %v, want %v", s.Name, s.Category, want)
+		}
+	}
+	if len(All()) != Count {
+		t.Fatalf("All() returned %d specs, long tier must not be included", len(All()))
+	}
+}
